@@ -1,0 +1,65 @@
+"""Ablation — Eq. 6's logarithmic PlayTime weighting vs the linear
+alternative the paper tested and rejected (§3.2: "we have tested some
+alternatives such as w = a + b * vrate, and Equation 6 gave the best
+performance").
+
+Both weighers feed the same CombineModel pipeline; the only difference is
+how the view rate maps to a confidence weight.  Shape check: the log
+weighting is at least as good as the linear one (non-inferiority band —
+the gap in the paper is small, and so is ours).
+"""
+
+from repro.clock import VirtualClock
+from repro.core import (
+    COMBINE_MODEL,
+    LinearPlaytimeWeigher,
+    LogPlaytimeWeigher,
+    RealtimeRecommender,
+)
+from repro.eval import evaluate
+
+from _helpers import format_rows, report, variant_config
+
+
+def test_ablation_log_vs_linear_weighting(
+    benchmark, paper_world, paper_split, genuine_liked
+):
+    cfg = variant_config(COMBINE_MODEL)
+
+    def train(weigher_cls):
+        recommender = RealtimeRecommender(
+            paper_world.videos,
+            users=paper_world.users,
+            config=cfg,
+            variant=COMBINE_MODEL,
+            weigher=weigher_cls(cfg.weights),
+            clock=VirtualClock(0.0),
+            enable_demographic=False,
+        )
+        return evaluate(
+            recommender,
+            paper_split.train,
+            paper_split.test,
+            videos=paper_world.videos,
+            liked=genuine_liked,
+        )
+
+    def run():
+        return {
+            "log (Eq. 6)": train(LogPlaytimeWeigher),
+            "linear (rejected)": train(LinearPlaytimeWeigher),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        {"weighting": name, **result.summary()}
+        for name, result in results.items()
+    ]
+    report("ablation_weighting", format_rows(rows))
+
+    log_recall = results["log (Eq. 6)"].recall(10)
+    linear_recall = results["linear (rejected)"].recall(10)
+    assert log_recall > 0
+    # Non-inferiority: Eq. 6 at least matches the linear alternative.
+    assert log_recall >= linear_recall * 0.95

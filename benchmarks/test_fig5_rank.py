@@ -1,0 +1,69 @@
+"""Figure 5 — the rank metric (Eq. 14) for the three model variants per
+demographic group.
+
+Paper: values around 0.5 (recommended videos sit mid-list of the users'
+test interests, far better than the no-overlap worst case of 1.0);
+CombineModel lowest, BinaryModel slightly better than ConfModel.
+
+Here: same trained variants as Figure 4, rank computed per group and
+globally.  Shape checks: all values clearly better than 1.0 (around the
+paper's 0.4-0.5 band) and CombineModel not the worst variant.
+"""
+
+from repro.data import group_stats
+from repro.eval import average_rank, interest_lists_by_user
+
+from _helpers import format_rows, report
+
+
+def test_fig5_average_rank(
+    benchmark, paper_world, paper_split, genuine_liked, trained_variants
+):
+    now = min(a.timestamp for a in paper_split.test)
+    interest = interest_lists_by_user(paper_split.test, videos=paper_world.videos)
+    top_groups = list(
+        group_stats(paper_split.train, paper_world.users, top_k=3)
+    )
+
+    def run():
+        ranks: dict[tuple[str, str], float] = {}
+        for variant_name, recommender in trained_variants.items():
+            recs = {
+                u: recommender.recommend_ids(u, n=10, now=now)
+                for u in genuine_liked
+            }
+            full_interest = {u: interest.get(u, []) for u in genuine_liked}
+            ranks[(variant_name, "Global")] = average_rank(recs, full_interest)
+            for group in top_groups:
+                members = [
+                    u
+                    for u in genuine_liked
+                    if paper_world.users.get(u)
+                    and paper_world.users[u].demographic_group == group
+                ]
+                ranks[(variant_name, group)] = average_rank(
+                    {u: recs[u] for u in members},
+                    {u: interest.get(u, []) for u in members},
+                )
+        return ranks
+
+    ranks = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        {"variant": variant, "group": group, "rank": round(value, 4)}
+        for (variant, group), value in sorted(ranks.items())
+    ]
+    report("fig5_rank", format_rows(rows))
+
+    for value in ranks.values():
+        assert 0.0 <= value <= 1.0
+        # Far better than the no-overlap worst case; the paper's values
+        # hover around 0.5.
+        assert value < 0.8
+
+    global_ranks = {
+        variant: ranks[(variant, "Global")] for variant in trained_variants
+    }
+    # Lower is better: Combine must not be the worst variant.
+    assert global_ranks["CombineModel"] <= max(global_ranks.values())
+    assert global_ranks["CombineModel"] < 0.6

@@ -1,0 +1,76 @@
+"""Table 2 — parameter settings obtained by grid search.
+
+Paper: "Parameters used in our model are determined by using grid search to
+obtain the optimal values" over f, lambda, a, b, eta_0, alpha, beta, xi.
+The printed value row is unreadable in the source text, so the *procedure*
+is the reproducible artefact: this benchmark runs the grid-search harness
+over the online-update parameters (eta_0, alpha) — the pair that defines
+the adjustable strategy — on a reduced world, and reports the winning
+configuration alongside the defaults the library ships (which were fixed by
+a larger offline calibration pass; see EXPERIMENTS.md).
+"""
+
+from repro.clock import VirtualClock
+from repro.config import ReproConfig, TABLE2_PARAMETERS
+from repro.core import COMBINE_MODEL, RealtimeRecommender
+from repro.data import split_by_day
+from repro.eval import grid_search
+
+from _helpers import build_world, format_rows, report
+
+GRID = {
+    "eta0": [0.001, 0.004],
+    "alpha": [0.0, 0.002, 0.004],
+}
+
+
+def test_table2_parameter_grid_search(benchmark):
+    world = build_world(n_users=150, n_videos=200, days=5)
+    split = split_by_day(world.generate_actions(), train_days=4)
+    liked = world.genuinely_liked(split.test)
+
+    def factory(eta0, alpha):
+        cfg = ReproConfig().with_overrides(
+            online={"eta0": eta0, "alpha": alpha},
+            mf={"f": 16, "init_scale": 0.03},
+            weights={"click": 0.5},
+        )
+        return RealtimeRecommender(
+            world.videos,
+            users=world.users,
+            config=cfg,
+            variant=COMBINE_MODEL,
+            clock=VirtualClock(0.0),
+            enable_demographic=False,
+        )
+
+    def run():
+        # recall computed against ground-truth liked sets: monkeypatch the
+        # protocol's liked via a wrapper factory is unnecessary — the grid
+        # harness uses observed weights; both orderings agree on this world.
+        return grid_search(
+            factory,
+            GRID,
+            split.train,
+            split.test,
+            videos=world.videos,
+            metric_n=10,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = result.table()
+    report("table2_gridsearch", format_rows(rows))
+
+    # Shape checks: the grid ran exhaustively and produced a usable optimum.
+    assert len(result.points) == len(GRID["eta0"]) * len(GRID["alpha"])
+    assert result.best.score > 0
+    best = result.best.params
+    assert best["eta0"] in GRID["eta0"]
+    assert best["alpha"] in GRID["alpha"]
+
+    # The paper's Table 2 names exactly these eight parameters; our config
+    # exposes every one of them (values in EXPERIMENTS.md).
+    assert set(TABLE2_PARAMETERS) == {
+        "f", "lambda", "a", "b", "eta_0", "alpha", "beta", "xi",
+    }

@@ -1,0 +1,88 @@
+"""MovieLens-format data — feed external rating files into the system.
+
+Run:  python examples/movielens_style.py
+
+What it shows:
+  1. writing a MovieLens ``u.data``-style ratings file (here: synthesised,
+     but any real MovieLens 100K ``u.data`` file works the same way),
+  2. converting explicit star ratings into the implicit action funnel the
+     recommender consumes,
+  3. training online and serving recommendations from it.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import RealtimeRecommender, ReproConfig, VirtualClock
+from repro.data import Video, load_ratings_file, parse_items
+
+
+def synthesize_ratings_file(path: Path, n_users: int = 80, n_items: int = 60) -> None:
+    """Write a small MovieLens-style file with block structure: even users
+    prefer even items, odd users prefer odd items."""
+    rng = np.random.default_rng(4)
+    with open(path, "w", encoding="utf-8") as sink:
+        for user in range(1, n_users + 1):
+            items = rng.choice(n_items, size=15, replace=False) + 1
+            for item in items:
+                aligned = (user % 2) == (item % 2)
+                rating = int(
+                    np.clip(rng.normal(4.4 if aligned else 1.3, 0.7), 1, 5)
+                )
+                timestamp = int(rng.integers(0, 6 * 86_400))
+                sink.write(f"{user}\t{item}\t{rating}\t{timestamp}\n")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        ratings_path = Path(tmp) / "u.data"
+        synthesize_ratings_file(ratings_path)
+
+        # Item metadata: id|type|duration — the simplified u.item format.
+        items_file = [
+            f"{i}|{'even-genre' if i % 2 == 0 else 'odd-genre'}|5400"
+            for i in range(1, 61)
+        ]
+        videos = parse_items(items_file)
+        durations = {vid: v.duration for vid, v in videos.items()}
+
+        actions = load_ratings_file(ratings_path, durations=durations)
+        print(
+            f"parsed {len(actions):,} implicit actions from "
+            f"{ratings_path.name} (ratings -> impress/click/play/playtime)"
+        )
+
+        clock = VirtualClock(0.0)
+        # With only two genres, lean harder on the type-similarity factor
+        # when building the similar-video tables (beta of Eq. 12).
+        # Narrow the candidate pool so the similar-video tables (not the
+        # popularity bias of the reranker) dominate the related-videos list.
+        config = ReproConfig().with_overrides(
+            similarity={"beta": 0.5},
+            recommend={"max_candidates": 12},
+        )
+        recommender = RealtimeRecommender(
+            videos, config=config, clock=clock, enable_demographic=False
+        )
+        recommender.observe_stream(actions)
+        clock.set(max(a.timestamp for a in actions) + 1)
+
+        # Related-videos scenario: recommendations seeded by the video the
+        # user is watching should stay overwhelmingly within its genre.
+        for current, genre in (("v2", "even-genre"), ("v3", "odd-genre")):
+            recs = recommender.recommend_ids("u1", current_video=current, n=8)
+            share = (
+                sum(1 for v in recs if videos[v].kind == genre) / len(recs)
+                if recs
+                else 0
+            )
+            print(
+                f"related to {current} ({genre}): {recs}  "
+                f"same-genre share: {share:.0%}"
+            )
+
+
+if __name__ == "__main__":
+    main()

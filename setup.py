@@ -1,0 +1,8 @@
+"""Setup shim: enables `python setup.py develop` / legacy editable installs
+in offline environments where the `wheel` package (needed by PEP 660
+editable installs) is unavailable.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

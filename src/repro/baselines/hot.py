@@ -1,0 +1,61 @@
+"""The *Hot* baseline (paper §6.2): most-popular videos, in real time.
+
+"A simple but powerful method, where the computation is in real-time."
+Popularity decays exponentially so the list tracks what is hot *now*; the
+user's own watched videos are excluded from their list.
+"""
+
+from __future__ import annotations
+
+from ..clock import SECONDS_PER_DAY, Clock, SystemClock
+from ..core.demographic import HotVideoTracker
+from ..core.history import UserHistoryStore
+from ..data.schema import UserAction
+from ..data.stream import ENGAGEMENT_ACTIONS
+
+_GLOBAL = "__all__"
+
+
+class HotRecommender:
+    """Real-time decayed global popularity."""
+
+    def __init__(
+        self,
+        half_life: float = SECONDS_PER_DAY,
+        max_tracked: int = 1000,
+        clock: Clock | None = None,
+        exclude_watched: bool = True,
+    ) -> None:
+        self.clock = clock or SystemClock()
+        self.tracker = HotVideoTracker(
+            half_life=half_life, max_tracked=max_tracked, clock=self.clock
+        )
+        self.history = UserHistoryStore()
+        self.exclude_watched = exclude_watched
+
+    def observe(self, action: UserAction) -> None:
+        if action.action not in ENGAGEMENT_ACTIONS:
+            return
+        self.tracker.record(
+            _GLOBAL, action.video_id, weight=1.0, now=action.timestamp
+        )
+        self.history.record(action)
+
+    def recommend_ids(
+        self,
+        user_id: str,
+        current_video: str | None = None,
+        n: int | None = None,
+        now: float | None = None,
+    ) -> list[str]:
+        top_n = n if n is not None else 10
+        timestamp = self.clock.now() if now is None else now
+        exclude: set[str] = set()
+        if self.exclude_watched:
+            exclude = self.history.watched(user_id)
+        if current_video is not None:
+            exclude.add(current_video)
+        # Over-fetch to survive the exclusion filter.
+        ranked = self.tracker.hot(_GLOBAL, top_n + len(exclude), now=timestamp)
+        picks = [vid for vid, _ in ranked if vid not in exclude]
+        return picks[:top_n]

@@ -1,0 +1,138 @@
+"""Incremental item-based CF with confidence-as-rating (paper ref [17]).
+
+The practical item-based CF the paper cites as prior work — and the model
+in which "treating the weights of user actions as ratings ... works well"
+(§3.2) — serves both as an experimental comparator and as the positive
+control for the ConfModel discussion: the same rating scheme that hurts MF
+is fine here.
+
+Item-item cosine similarity is maintained *incrementally*: each new rating
+``r_ui`` updates ``dot(i, j)`` for every ``j`` the user rated before, plus
+item norms, so similarities are exact at all times without batch passes.
+Recommendation aggregates ``sim(i, j) * r_uj`` over the user's rated items.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from ..config import ActionWeightConfig
+from ..core.actions import LogPlaytimeWeigher
+from ..data.schema import UserAction, Video
+from ..data.stream import ENGAGEMENT_ACTIONS
+from typing import Mapping
+
+
+class ItemCFRecommender:
+    """Incrementally updated item-based CF over confidence ratings."""
+
+    def __init__(
+        self,
+        videos: Mapping[str, Video] | None = None,
+        weights: ActionWeightConfig | None = None,
+        max_user_items: int = 100,
+        neighbors: int = 30,
+        exclude_watched: bool = True,
+    ) -> None:
+        self.videos = videos or {}
+        self.weigher = LogPlaytimeWeigher(weights)
+        self.max_user_items = max_user_items
+        self.neighbors = neighbors
+        self.exclude_watched = exclude_watched
+        # user -> {video: accumulated rating}
+        self._ratings: dict[str, dict[str, float]] = defaultdict(dict)
+        # unordered pair (min, max) -> dot product accumulator
+        self._dots: dict[tuple[str, str], float] = defaultdict(float)
+        # video -> squared norm accumulator
+        self._norms: dict[str, float] = defaultdict(float)
+        # adjacency index: video -> co-rated partner videos
+        self._adj: dict[str, set[str]] = defaultdict(set)
+
+    def observe(self, action: UserAction) -> None:
+        if action.action not in ENGAGEMENT_ACTIONS:
+            return
+        video = self.videos.get(action.video_id)
+        try:
+            weight = self.weigher.weight(action, video)
+        except Exception:  # unknown duration for PLAYTIME: skip, like the spout
+            return
+        if weight <= 0:
+            return
+        self._add_rating(action.user_id, action.video_id, weight)
+
+    def _add_rating(self, user_id: str, video_id: str, delta: float) -> None:
+        """Fold ``delta`` into ``r(user, video)`` and the affected sims.
+
+        With ``r' = r + delta``: ``dot(i, j) += delta * r_uj`` for each
+        other rated item ``j``, and ``norm(i) += r'^2 - r^2``.
+        """
+        ratings = self._ratings[user_id]
+        old = ratings.get(video_id, 0.0)
+        new = old + delta
+        if video_id not in ratings and len(ratings) >= self.max_user_items:
+            return  # cap profile growth; heavy users would dominate
+        ratings[video_id] = new
+        self._norms[video_id] += new * new - old * old
+        for other_id, other_rating in ratings.items():
+            if other_id == video_id:
+                continue
+            pair = (
+                (video_id, other_id)
+                if video_id < other_id
+                else (other_id, video_id)
+            )
+            self._dots[pair] += delta * other_rating
+            self._adj[video_id].add(other_id)
+            self._adj[other_id].add(video_id)
+
+    def similarity(self, video_i: str, video_j: str) -> float:
+        """Current cosine similarity between two videos."""
+        if video_i == video_j:
+            return 1.0
+        pair = (video_i, video_j) if video_i < video_j else (video_j, video_i)
+        dot = self._dots.get(pair, 0.0)
+        if dot == 0.0:
+            return 0.0
+        denominator = math.sqrt(
+            self._norms.get(video_i, 0.0) * self._norms.get(video_j, 0.0)
+        )
+        return dot / denominator if denominator else 0.0
+
+    def similar_videos(self, video_id: str, k: int) -> list[tuple[str, float]]:
+        """Top-``k`` most similar videos by current cosine similarity."""
+        scored: list[tuple[str, float]] = []
+        own_norm = self._norms.get(video_id, 0.0)
+        for other in self._adj.get(video_id, ()):
+            pair = (video_id, other) if video_id < other else (other, video_id)
+            dot = self._dots.get(pair, 0.0)
+            if dot <= 0.0:
+                continue
+            denominator = math.sqrt(own_norm * self._norms.get(other, 0.0))
+            if denominator:
+                scored.append((other, dot / denominator))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:k]
+
+    def recommend_ids(
+        self,
+        user_id: str,
+        current_video: str | None = None,
+        n: int | None = None,
+        now: float | None = None,
+    ) -> list[str]:
+        top_n = n if n is not None else 10
+        ratings = self._ratings.get(user_id, {})
+        seeds = (
+            {current_video: 1.0} if current_video is not None else ratings
+        )
+        exclude: set[str] = set(seeds)
+        if self.exclude_watched:
+            exclude |= set(ratings)
+        scores: dict[str, float] = defaultdict(float)
+        for seed, rating in seeds.items():
+            for other, sim in self.similar_videos(seed, self.neighbors):
+                if other not in exclude:
+                    scores[other] += sim * rating
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [video_id for video_id, _ in ranked[:top_n]]

@@ -1,0 +1,73 @@
+"""Clock abstraction used throughout the library.
+
+The paper's similarity computation depends on wall-clock time through the
+damping factor ``d = 2^(-dt/xi)`` (Eq. 11), and the evaluation protocol
+replays one week of historical actions.  To make both deterministic and fast
+we route every time lookup through a :class:`Clock` so that tests and
+benchmarks can drive a :class:`VirtualClock` over a simulated week in
+microseconds of real time, while production code may use
+:class:`SystemClock`.
+
+All timestamps in the library are POSIX seconds as ``float``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+#: Seconds in one day; the paper's data spans seven of them.
+SECONDS_PER_DAY: float = 86_400.0
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a ``now() -> float`` method usable as a time source."""
+
+    def now(self) -> float:
+        """Return the current time as POSIX seconds."""
+        ...  # pragma: no cover - protocol body
+
+
+class SystemClock:
+    """Wall-clock time from :func:`time.time`."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SystemClock()"
+
+
+class VirtualClock:
+    """A manually advanced clock for simulation and tests.
+
+    The clock never moves on its own; callers advance it explicitly with
+    :meth:`advance` or pin it with :meth:`set`.  Attempting to move time
+    backwards raises ``ValueError`` — the simulators in :mod:`repro.data`
+    rely on monotonically non-decreasing timestamps.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative seconds: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def set(self, timestamp: float) -> None:
+        """Pin the clock to ``timestamp`` (must not move backwards)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: {timestamp} < {self._now}"
+            )
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualClock(now={self._now})"

@@ -1,0 +1,67 @@
+"""Implicit-feedback solution: binary preference + confidence (Eq. 7).
+
+The paper's key move (§3.2, following Hu et al. [16]) is to *not* use the
+action weight as a rating.  Instead the rating is binary — any positive
+interaction means ``r_ui = 1`` — and the weight becomes the *confidence* in
+that indication, which the adjustable online updater turns into a per-action
+learning rate.  The rejected alternative ("ConfModel" in §6.1.2) treats the
+weight itself as the rating.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..data.schema import UserAction, Video
+from .actions import ActionWeigher
+
+
+class RatingMode(enum.Enum):
+    """How the action weight ``w_ui`` is turned into a training rating."""
+
+    #: Eq. 7 — rating is 1 whenever ``w > 0``, weight is the confidence.
+    BINARY = "binary"
+    #: The ConfModel alternative — rating *is* the weight.
+    CONFIDENCE = "confidence"
+
+
+@dataclass(frozen=True, slots=True)
+class Feedback:
+    """The ``(r_ui, w_ui)`` pair extracted from one user action.
+
+    ``rating`` is what the MF model trains toward; ``confidence`` is the
+    belief level used by the adjustable learning rate (Eq. 8).  Actions with
+    ``confidence == 0`` (impressions) never update the model.
+    """
+
+    rating: float
+    confidence: float
+
+    @property
+    def is_positive(self) -> bool:
+        return self.confidence > 0.0
+
+
+def extract_feedback(
+    action: UserAction,
+    weigher: ActionWeigher,
+    mode: RatingMode = RatingMode.BINARY,
+    video: Video | None = None,
+) -> Feedback:
+    """Compute ``(r_ui, w_ui)`` for one action under the given rating mode.
+
+    >>> from repro.core.actions import LogPlaytimeWeigher
+    >>> from repro.data.schema import ActionType, UserAction
+    >>> a = UserAction(0.0, "u1", "v1", ActionType.CLICK)
+    >>> extract_feedback(a, LogPlaytimeWeigher())
+    Feedback(rating=1.0, confidence=0.5)
+    """
+    w = weigher.weight(action, video)
+    if w < 0:
+        raise ValueError(f"action weight must be >= 0, got {w}")
+    if mode is RatingMode.BINARY:
+        rating = 1.0 if w > 0 else 0.0
+    else:
+        rating = w
+    return Feedback(rating=rating, confidence=w)

@@ -1,0 +1,105 @@
+"""Demographic training (paper §5.2.2): one model per demographic group.
+
+The recommendation algorithm runs *within* each demographic user group:
+every group gets its own MF model, similar-video tables and hot lists, so a
+video has one vector per group and pair similarities are computed from
+group-local co-watching.  The group sub-matrices are denser than the global
+matrix (Table 4) and capture group-specific rating patterns — the source of
+the ~10-20 % improvement in Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..clock import Clock
+from ..config import ReproConfig
+from ..data.schema import GLOBAL_GROUP, User, UserAction, Video
+from .recommender import RealtimeRecommender, Recommendation
+from .variants import COMBINE_MODEL, ModelVariant
+
+
+class GroupedRecommender:
+    """Routes actions and requests to per-demographic-group recommenders.
+
+    Group recommenders are created lazily on first contact.  Users whose
+    group is unknown (unregistered or absent from ``users``) route to the
+    global group's recommender, so the system always has an answer.
+    """
+
+    def __init__(
+        self,
+        videos: Mapping[str, Video],
+        users: Mapping[str, User],
+        config: ReproConfig | None = None,
+        variant: ModelVariant = COMBINE_MODEL,
+        clock: Clock | None = None,
+        enable_demographic: bool = False,
+    ) -> None:
+        self.videos = videos
+        self.users = users
+        self.config = config or ReproConfig()
+        self.variant = variant
+        self.clock = clock
+        self.enable_demographic = enable_demographic
+        self._groups: dict[str, RealtimeRecommender] = {}
+
+    def group_for(self, user_id: str) -> str:
+        user = self.users.get(user_id)
+        return user.demographic_group if user else GLOBAL_GROUP
+
+    def recommender_for_group(self, group: str) -> RealtimeRecommender:
+        """The group's recommender, created on first use."""
+        if group not in self._groups:
+            self._groups[group] = RealtimeRecommender(
+                self.videos,
+                users=self.users,
+                config=self.config,
+                variant=self.variant,
+                clock=self.clock,
+                enable_demographic=self.enable_demographic,
+            )
+        return self._groups[group]
+
+    def recommender_for_user(self, user_id: str) -> RealtimeRecommender:
+        return self.recommender_for_group(self.group_for(user_id))
+
+    def observe(self, action: UserAction) -> None:
+        """Route one action to its user's group model."""
+        self.recommender_for_user(action.user_id).observe(action)
+
+    def observe_stream(self, actions: Iterable[UserAction]) -> int:
+        count = 0
+        for action in actions:
+            self.observe(action)
+            count += 1
+        return count
+
+    def recommend(
+        self,
+        user_id: str,
+        current_video: str | None = None,
+        n: int | None = None,
+        now: float | None = None,
+    ) -> list[Recommendation]:
+        """Serve a request from the user's group model."""
+        return self.recommender_for_user(user_id).recommend(
+            user_id, current_video, n=n, now=now
+        )
+
+    def recommend_ids(
+        self,
+        user_id: str,
+        current_video: str | None = None,
+        n: int | None = None,
+        now: float | None = None,
+    ) -> list[str]:
+        """Like :meth:`recommend` but returning just the video ids."""
+        return [
+            r.video_id
+            for r in self.recommend(user_id, current_video, n=n, now=now)
+        ]
+
+    def groups(self) -> list[str]:
+        """Groups that have received at least one action or request."""
+        return list(self._groups)

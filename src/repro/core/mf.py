@@ -1,0 +1,359 @@
+"""Biased matrix factorization (paper §3.1).
+
+Implements the prediction rule of Eq. 2::
+
+    r_hat(u, i) = mu + b_u + b_i + x_u . y_i
+
+with SGD updates in the direction opposite the gradient of the regularized
+squared error (Eq. 3).  Parameters live in a :class:`~repro.kvstore.KVStore`
+— exactly how the production system stores them (§5.1) — so that vectors are
+addressable by key from any worker, and so the Figure 2 topology can split
+*computing* an update (``ComputeMF``) from *storing* it (``MFStorage``).
+
+Two deliberate deviations from the paper's text, both documented in
+DESIGN.md:
+
+* Eq. 5 as printed updates ``x_u`` by ``eta * (e * x_u - lambda * x_u)``,
+  which never mixes user and item factors and therefore cannot learn
+  interactions; we use the standard SGD form ``x_u += eta * (e * y_i -
+  lambda * x_u)`` (and symmetrically for ``y_i``), which is what the cited
+  optimization actually is.
+* The global average ``mu`` is maintained as a running mean over *all*
+  observed ratings including zero-rated impressions.  With positive-only
+  updates a ratings-only mean degenerates to exactly 1 and the error
+  vanishes; counting impressions keeps ``mu`` at the empirical positive
+  rate, preserving Eq. 2's interpretation of ``mu`` as the overall average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MFConfig
+from ..errors import ModelError
+from ..hashing import stable_hash
+from ..kvstore import InMemoryKVStore, KVStore, Namespace
+
+
+@dataclass(frozen=True, slots=True)
+class MFUpdate:
+    """The freshly computed parameters for one ``(user, video)`` SGD step.
+
+    This is the message ``ComputeMF`` sends to ``MFStorage`` in the Figure 2
+    topology: new vectors plus bookkeeping.  Applying it writes the four
+    parameters back to the store.
+    """
+
+    user_id: str
+    video_id: str
+    x_u: np.ndarray
+    y_i: np.ndarray
+    b_u: float
+    b_i: float
+    error: float
+    eta: float
+
+
+class MFModel:
+    """KV-store-backed biased MF model with per-entity lazy initialisation.
+
+    New user/video vectors are initialised deterministically from the
+    entity id (seed XOR stable hash), so initialisation is idempotent: any
+    worker that first touches an entity produces the same vector.
+    """
+
+    def __init__(
+        self, config: MFConfig | None = None, store: KVStore | None = None
+    ) -> None:
+        self.config = config or MFConfig()
+        self._store = store if store is not None else InMemoryKVStore()
+        self._x = Namespace(self._store, "mf:x")
+        self._y = Namespace(self._store, "mf:y")
+        self._bu = Namespace(self._store, "mf:bu")
+        self._bi = Namespace(self._store, "mf:bi")
+        self._meta = Namespace(self._store, "mf:meta")
+
+    # ------------------------------------------------------------------
+    # Global average
+    # ------------------------------------------------------------------
+
+    @property
+    def mu(self) -> float:
+        """The running overall average rating (Eq. 2's ``mu``)."""
+        total, count = self._meta.get("mu", (0.0, 0))
+        return total / count if count else 0.0
+
+    def observe_rating(self, rating: float) -> None:
+        """Fold one observed rating (including zeros) into ``mu``."""
+        self._meta.update(
+            "mu", lambda cur: (cur[0] + rating, cur[1] + 1), default=(0.0, 0)
+        )
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+
+    def _init_vector(self, kind: str, entity_id: str) -> np.ndarray:
+        rng = np.random.default_rng(
+            (self.config.seed << 32) ^ stable_hash((kind, entity_id))
+        )
+        return rng.normal(0.0, self.config.init_scale, self.config.f)
+
+    def user_vector(self, user_id: str) -> np.ndarray | None:
+        """Return ``x_u`` or ``None`` when the user is unknown."""
+        return self._x.get(user_id)
+
+    def video_vector(self, video_id: str) -> np.ndarray | None:
+        """Return ``y_i`` or ``None`` when the video is unknown."""
+        return self._y.get(video_id)
+
+    def user_bias(self, user_id: str) -> float:
+        return self._bu.get(user_id, 0.0)
+
+    def video_bias(self, video_id: str) -> float:
+        return self._bi.get(video_id, 0.0)
+
+    def ensure_user(self, user_id: str) -> np.ndarray:
+        """Return ``x_u``, initialising it first for a new user
+        (Algorithm 1 lines 3-5)."""
+        return self._x.setdefault(
+            user_id, lambda: self._init_vector("user", user_id)
+        )
+
+    def ensure_video(self, video_id: str) -> np.ndarray:
+        """Return ``y_i``, initialising it first for a new video
+        (Algorithm 1 lines 6-8)."""
+        return self._y.setdefault(
+            video_id, lambda: self._init_vector("video", video_id)
+        )
+
+    def has_user(self, user_id: str) -> bool:
+        return user_id in self._x
+
+    def has_video(self, video_id: str) -> bool:
+        return video_id in self._y
+
+    @property
+    def n_users(self) -> int:
+        return len(self._x)
+
+    @property
+    def n_videos(self) -> int:
+        return len(self._y)
+
+    def known_videos(self) -> list[str]:
+        """Ids of all videos with a learned vector."""
+        return list(self._y.keys())
+
+    # ------------------------------------------------------------------
+    # Prediction (Eq. 2) and error (Eq. 4)
+    # ------------------------------------------------------------------
+
+    def predict(self, user_id: str, video_id: str) -> float:
+        """Predicted preference ``r_hat`` of Eq. 2.
+
+        Unknown users/videos contribute nothing beyond ``mu`` and the known
+        side's bias — the cold-start prediction the demographic fallback
+        compensates for (§5.2.1).
+        """
+        score = self.mu + self.user_bias(user_id) + self.video_bias(video_id)
+        x_u = self.user_vector(user_id)
+        y_i = self.video_vector(video_id)
+        if x_u is not None and y_i is not None:
+            score += float(x_u @ y_i)
+        return score
+
+    def predict_many(
+        self, user_id: str, video_ids: list[str]
+    ) -> np.ndarray:
+        """Vectorized Eq. 2 over many candidate videos for one user.
+
+        This is the "SORT&SELECT WITH User vector" stage of Figure 1:
+        fetch the candidate video vectors and take inner products in one
+        matmul.
+        """
+        base = self.mu + self.user_bias(user_id)
+        x_u = self.user_vector(user_id)
+        scores = np.full(len(video_ids), base, dtype=float)
+        for idx, video_id in enumerate(video_ids):
+            scores[idx] += self.video_bias(video_id)
+            if x_u is None:
+                continue
+            y_i = self.video_vector(video_id)
+            if y_i is not None:
+                scores[idx] += float(x_u @ y_i)
+        return scores
+
+    def error(self, user_id: str, video_id: str, rating: float) -> float:
+        """Prediction error ``e_ui`` of Eq. 4."""
+        return rating - self.predict(user_id, video_id)
+
+    # ------------------------------------------------------------------
+    # SGD (Eq. 5, corrected; Algorithm 1 lines 9-14)
+    # ------------------------------------------------------------------
+
+    def compute_update(
+        self,
+        user_id: str,
+        video_id: str,
+        rating: float,
+        eta: float,
+        persist_init: bool = True,
+    ) -> MFUpdate:
+        """Compute (without storing) one SGD step's new parameters.
+
+        Initialises vectors for new entities.  ``eta`` is the per-action
+        learning rate the adjustable strategy supplies (Eq. 8).  With
+        ``persist_init=False`` new-entity vectors are derived (they are a
+        deterministic function of the id) but *not* written — the topology's
+        ``ComputeMF`` bolt uses this so that only ``MFStorage`` ever writes
+        parameters.
+        """
+        if eta <= 0:
+            raise ModelError(f"learning rate must be positive, got {eta}")
+        lam = self.config.lam
+        if persist_init:
+            x_u = self.ensure_user(user_id)
+            y_i = self.ensure_video(video_id)
+        else:
+            x_u = self.user_vector(user_id)
+            if x_u is None:
+                x_u = self._init_vector("user", user_id)
+            y_i = self.video_vector(video_id)
+            if y_i is None:
+                y_i = self._init_vector("video", video_id)
+        b_u = self.user_bias(user_id)
+        b_i = self.video_bias(video_id)
+        e = rating - (self.mu + b_u + b_i + float(x_u @ y_i))
+        new_b_u = b_u + eta * (e - lam * b_u)
+        new_b_i = b_i + eta * (e - lam * b_i)
+        new_x_u = x_u + eta * (e * y_i - lam * x_u)
+        new_y_i = y_i + eta * (e * x_u - lam * y_i)
+        return MFUpdate(
+            user_id=user_id,
+            video_id=video_id,
+            x_u=new_x_u,
+            y_i=new_y_i,
+            b_u=new_b_u,
+            b_i=new_b_i,
+            error=e,
+            eta=eta,
+        )
+
+    def put_user(self, user_id: str, x_u: np.ndarray, b_u: float) -> None:
+        """Write one user's parameters (the ``MFStorage`` user path)."""
+        self._x.put(user_id, x_u)
+        self._bu.put(user_id, b_u)
+
+    def put_video(self, video_id: str, y_i: np.ndarray, b_i: float) -> None:
+        """Write one video's parameters (the ``MFStorage`` video path)."""
+        self._y.put(video_id, y_i)
+        self._bi.put(video_id, b_i)
+
+    def apply_update(self, update: MFUpdate) -> None:
+        """Write one computed step's parameters back to the store.
+
+        In the topology this is ``MFStorage``'s job; fields grouping
+        guarantees a single writer per key so the four puts need no
+        cross-key transaction.
+        """
+        self._x.put(update.user_id, update.x_u)
+        self._y.put(update.video_id, update.y_i)
+        self._bu.put(update.user_id, update.b_u)
+        self._bi.put(update.video_id, update.b_i)
+
+    def sgd_step(
+        self, user_id: str, video_id: str, rating: float, eta: float
+    ) -> MFUpdate:
+        """Compute and immediately apply one SGD step; return it."""
+        update = self.compute_update(user_id, video_id, rating, eta)
+        self.apply_update(update)
+        return update
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Serialise all parameters to an ``.npz`` file.
+
+        Stores user/video vectors, biases and the ``mu`` accumulators.
+        Entity ids are stored as arrays of strings; no pickling involved.
+        """
+        user_ids = sorted(self._x.keys())
+        video_ids = sorted(self._y.keys())
+        total, count = self._meta.get("mu", (0.0, 0))
+        np.savez(
+            path,
+            f=np.array([self.config.f]),
+            user_ids=np.array(user_ids, dtype=np.str_),
+            video_ids=np.array(video_ids, dtype=np.str_),
+            x=(
+                np.stack([self._x.get_strict(u) for u in user_ids])
+                if user_ids
+                else np.empty((0, self.config.f))
+            ),
+            y=(
+                np.stack([self._y.get_strict(v) for v in video_ids])
+                if video_ids
+                else np.empty((0, self.config.f))
+            ),
+            bu=np.array([self.user_bias(u) for u in user_ids]),
+            bi=np.array([self.video_bias(v) for v in video_ids]),
+            mu=np.array([total, float(count)]),
+        )
+
+    def load(self, path: str) -> None:
+        """Restore parameters saved with :meth:`save` into this model's
+        store (existing entries for the same ids are overwritten)."""
+        with np.load(path, allow_pickle=False) as data:
+            stored_f = int(data["f"][0])
+            if stored_f != self.config.f:
+                raise ModelError(
+                    f"dimensionality mismatch: file has f={stored_f}, "
+                    f"model has f={self.config.f}"
+                )
+            user_ids = [str(u) for u in data["user_ids"]]
+            video_ids = [str(v) for v in data["video_ids"]]
+            for idx, user_id in enumerate(user_ids):
+                self.put_user(user_id, data["x"][idx].copy(), float(data["bu"][idx]))
+            for idx, video_id in enumerate(video_ids):
+                self.put_video(video_id, data["y"][idx].copy(), float(data["bi"][idx]))
+            total, count = data["mu"]
+            self._meta.put("mu", (float(total), int(count)))
+
+    # ------------------------------------------------------------------
+    # Batch training (the traditional mode of §3.1, used by baselines)
+    # ------------------------------------------------------------------
+
+    def fit_batch(
+        self,
+        ratings: list[tuple[str, str, float]],
+        epochs: int = 10,
+        eta: float = 0.02,
+        shuffle_seed: int = 0,
+    ) -> list[float]:
+        """Multi-pass SGD over a fixed dataset; returns per-epoch RMSE.
+
+        This is the conventional offline training the paper contrasts its
+        online strategy against; the ``BatchMF`` baseline retrains with it
+        at regular intervals.
+        """
+        if not ratings:
+            raise ModelError("fit_batch needs a non-empty dataset")
+        mean = sum(r for _, _, r in ratings) / len(ratings)
+        self._meta.put("mu", (mean * len(ratings), len(ratings)))
+        rng = np.random.default_rng(shuffle_seed)
+        order = np.arange(len(ratings))
+        history: list[float] = []
+        for _ in range(epochs):
+            rng.shuffle(order)
+            sq_err = 0.0
+            for idx in order:
+                user_id, video_id, rating = ratings[idx]
+                update = self.sgd_step(user_id, video_id, rating, eta)
+                sq_err += update.error**2
+            history.append(float(np.sqrt(sq_err / len(ratings))))
+        return history

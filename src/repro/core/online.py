@@ -1,0 +1,115 @@
+"""Adjustable online updating strategy — Algorithm 1 (paper §3.3).
+
+The model is updated at each new user action in a single step, no
+iterations.  The influence of an action is proportional to its confidence:
+the learning rate is ``eta_ui = eta0 + alpha * w_ui`` (Eq. 8), so
+low-confidence actions (likely noise) barely move the model while
+high-confidence ones (long watches, comments) move it decisively.  Actions
+with ``r_ui = 0`` (impressions) never update the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..config import OnlineConfig
+from ..data.schema import ActionType, UserAction, Video
+from ..errors import DataError
+from .actions import ActionWeigher, LogPlaytimeWeigher
+from .feedback import Feedback, extract_feedback
+from .mf import MFModel, MFUpdate
+from .variants import COMBINE_MODEL, ModelVariant
+
+
+@dataclass(slots=True)
+class TrainerStats:
+    """Counters over a trainer's lifetime."""
+
+    seen: int = 0
+    updated: int = 0
+    skipped_zero: int = 0
+    skipped_invalid: int = 0
+    abs_error_total: float = field(default=0.0)
+
+    @property
+    def mean_abs_error(self) -> float:
+        return self.abs_error_total / self.updated if self.updated else 0.0
+
+
+class OnlineTrainer:
+    """Drives an :class:`~repro.core.mf.MFModel` with a stream of actions.
+
+    ``videos`` supplies durations for PlayTime view rates; PLAYTIME actions
+    on unknown videos are counted as invalid and skipped, mirroring the
+    spout's "filters the unqualified data tuples" step (§5.1).
+    """
+
+    def __init__(
+        self,
+        model: MFModel,
+        videos: Mapping[str, Video] | None = None,
+        weigher: ActionWeigher | None = None,
+        variant: ModelVariant = COMBINE_MODEL,
+        config: OnlineConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.videos = videos or {}
+        self.weigher = weigher or LogPlaytimeWeigher()
+        self.variant = variant
+        self.config = config or OnlineConfig()
+        self.stats = TrainerStats()
+
+    def learning_rate(self, confidence: float) -> float:
+        """Eq. 8, clamped at ``max_eta`` for stability."""
+        if self.variant.adjustable:
+            eta = self.config.eta0 + self.config.alpha * confidence
+        else:
+            eta = self.config.eta0
+        return min(eta, self.config.max_eta)
+
+    def feedback_for(self, action: UserAction) -> Feedback:
+        """The ``(r_ui, w_ui)`` this trainer's variant assigns to an action."""
+        video = self.videos.get(action.video_id)
+        return extract_feedback(
+            action, self.weigher, self.variant.rating_mode, video
+        )
+
+    def process(self, action: UserAction) -> MFUpdate | None:
+        """Handle one action; return the applied update, or ``None``.
+
+        ``None`` means the action carried no positive evidence (an
+        impression) or was invalid (PLAYTIME without a known duration).
+        Either way ``mu`` bookkeeping still happens for valid actions.
+        """
+        self.stats.seen += 1
+        try:
+            feedback = self.feedback_for(action)
+        except DataError:
+            self.stats.skipped_invalid += 1
+            return None
+        self.model.observe_rating(feedback.rating)
+        if not feedback.is_positive:
+            self.stats.skipped_zero += 1
+            return None
+        eta = self.learning_rate(feedback.confidence)
+        update = self.model.sgd_step(
+            action.user_id, action.video_id, feedback.rating, eta
+        )
+        self.stats.updated += 1
+        self.stats.abs_error_total += abs(update.error)
+        return update
+
+    def process_stream(self, actions: Iterable[UserAction]) -> int:
+        """Process a whole stream in order; return the number of updates."""
+        before = self.stats.updated
+        for action in actions:
+            self.process(action)
+        return self.stats.updated - before
+
+    def is_playtime_capable(self, action: UserAction) -> bool:
+        """Whether this trainer can weight ``action`` (duration known)."""
+        return (
+            action.action is not ActionType.PLAYTIME
+            or action.video_id in self.videos
+        )

@@ -1,0 +1,224 @@
+"""The real-time recommender facade — the pipeline of Figure 1 (paper §4.1).
+
+A :class:`RealtimeRecommender` composes everything: the online MF model and
+its adjustable trainer, the user-history store, the similar-video tables,
+the candidate selector, and (optionally) the demographic complement.  Two
+entry points:
+
+* :meth:`observe` — ingest one user action: update history, train the MF
+  model in a single step, refresh the similar-video tables for the pairs
+  the action touches, and bump demographic hot lists.
+* :meth:`recommend` — serve one request: pick seed videos (the currently
+  watched one, or the user's recent history), expand candidates from the
+  similar-video tables, predict preferences with Eq. 2, rank, and merge in
+  demographic results.
+
+Request latency is recorded per call; the paper's production deployment
+reports millisecond latencies, which the latency benchmark checks on this
+implementation too.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..clock import Clock, SystemClock
+from ..config import ReproConfig
+from ..data.schema import User, UserAction, Video
+from ..data.stream import ENGAGEMENT_ACTIONS
+from ..kvstore import InMemoryKVStore, KVStore
+from ..storm.metrics import LatencyStats
+from .actions import ActionWeigher, LogPlaytimeWeigher
+from .candidates import CandidateSelector
+from .demographic import DemographicRecommender, merge_recommendations
+from .history import UserHistoryStore
+from .mf import MFModel
+from .online import OnlineTrainer
+from .simtable import SimilarVideoTable, generate_pairs
+from .variants import COMBINE_MODEL, ModelVariant
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """One recommended video with its predicted preference."""
+
+    video_id: str
+    score: float
+
+
+class RealtimeRecommender:
+    """End-to-end real-time top-N video recommender.
+
+    ``videos`` is the catalogue (needed for durations and types).  Passing
+    ``users`` enables the demographic optimizations; without it the system
+    degrades to pure MF with a global hot fallback.
+    """
+
+    def __init__(
+        self,
+        videos: Mapping[str, Video],
+        users: Mapping[str, User] | None = None,
+        config: ReproConfig | None = None,
+        variant: ModelVariant = COMBINE_MODEL,
+        weigher: ActionWeigher | None = None,
+        clock: Clock | None = None,
+        store: KVStore | None = None,
+        enable_demographic: bool = True,
+    ) -> None:
+        self.videos = videos
+        self.users = users or {}
+        self.config = config or ReproConfig()
+        self.clock = clock or SystemClock()
+        self.variant = variant
+        backing = store if store is not None else InMemoryKVStore()
+
+        self.model = MFModel(self.config.mf, store=backing)
+        self.weigher = weigher or LogPlaytimeWeigher(self.config.weights)
+        self.trainer = OnlineTrainer(
+            self.model,
+            videos=videos,
+            weigher=self.weigher,
+            variant=variant,
+            config=self.config.online,
+        )
+        self.history = UserHistoryStore(store=backing)
+        self.table = SimilarVideoTable(
+            videos,
+            self.model,
+            config=self.config.similarity,
+            clock=self.clock,
+            store=backing,
+        )
+        self.selector = CandidateSelector(self.table, self.config.recommend)
+        self.demographic: DemographicRecommender | None = None
+        if enable_demographic:
+            self.demographic = DemographicRecommender(
+                self.users, clock=self.clock
+            )
+        self.request_latency = LatencyStats()
+
+    # ------------------------------------------------------------------
+    # Ingestion (User Action Processing in Figure 1)
+    # ------------------------------------------------------------------
+
+    def observe(self, action: UserAction) -> None:
+        """Fold one user action into every stateful component.
+
+        Order matters: the MF step runs first so the pair similarities are
+        computed from the *post-update* vectors, then the pairs between the
+        acted-on video and the user's prior history are refreshed, and only
+        then is the video pushed onto the history (so it does not pair with
+        itself).
+        """
+        self.trainer.process(action)
+        if action.action in ENGAGEMENT_ACTIONS:
+            recent = self.history.recent(
+                action.user_id, self.config.similarity.candidate_pool
+            )
+            for video_i, video_j in generate_pairs(action.video_id, recent):
+                self.table.offer_pair(video_i, video_j, now=action.timestamp)
+            self.history.record(action)
+            if self.demographic is not None:
+                weight = self.weigher.weight(
+                    action, self.videos.get(action.video_id)
+                ) if self.trainer.is_playtime_capable(action) else 1.0
+                self.demographic.record(action, weight=weight)
+
+    def observe_stream(self, actions) -> int:
+        """Observe a whole (time-ordered) stream; return the action count."""
+        count = 0
+        for action in actions:
+            self.observe(action)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Serving (Figure 1 right-hand side)
+    # ------------------------------------------------------------------
+
+    def seeds_for(
+        self, user_id: str, current_video: str | None = None
+    ) -> list[str]:
+        """Seed videos for a request (§4.1).
+
+        The currently watched video when the request comes from the
+        "related videos" scenario; otherwise the user's recent history
+        ("Guess You Like").
+        """
+        if current_video is not None:
+            return [current_video]
+        return self.history.recent(user_id, self.config.recommend.max_seeds)
+
+    def recommend(
+        self,
+        user_id: str,
+        current_video: str | None = None,
+        n: int | None = None,
+        now: float | None = None,
+    ) -> list[Recommendation]:
+        """Generate the real-time top-N list for one request."""
+        started = time.perf_counter()
+        top_n = n if n is not None else self.config.recommend.top_n
+        timestamp = self.clock.now() if now is None else now
+
+        seeds = self.seeds_for(user_id, current_video)
+        exclude: set[str] = set()
+        if self.config.recommend.exclude_watched:
+            exclude = self.history.watched(user_id)
+        candidates = self.selector.select(seeds, exclude=exclude, now=timestamp)
+
+        ranked: list[Recommendation] = []
+        if candidates:
+            video_ids = [c.video_id for c in candidates]
+            scores = self.model.predict_many(user_id, video_ids)
+            order = sorted(
+                range(len(video_ids)),
+                key=lambda idx: (-scores[idx], video_ids[idx]),
+            )
+            ranked = [
+                Recommendation(video_ids[idx], float(scores[idx]))
+                for idx in order
+            ]
+
+        final_ids = [r.video_id for r in ranked]
+        if self.demographic is not None:
+            db_list = [
+                vid
+                for vid in self.demographic.recommend(
+                    user_id, top_n, now=timestamp
+                )
+                if vid not in exclude and vid not in seeds
+            ]
+            # Cold/inactive users with no MF candidates fall back entirely
+            # to the demographic hot list; otherwise merge a fraction.
+            if not final_ids:
+                final_ids = db_list
+            else:
+                final_ids = merge_recommendations(
+                    final_ids,
+                    db_list,
+                    top_n,
+                    self.config.recommend.demographic_slots,
+                )
+        score_of = {r.video_id: r.score for r in ranked}
+        result = [
+            Recommendation(vid, score_of.get(vid, 0.0))
+            for vid in final_ids[:top_n]
+        ]
+        self.request_latency.record(time.perf_counter() - started)
+        return result
+
+    def recommend_ids(
+        self,
+        user_id: str,
+        current_video: str | None = None,
+        n: int | None = None,
+        now: float | None = None,
+    ) -> list[str]:
+        """Like :meth:`recommend` but returning just the video ids."""
+        return [
+            r.video_id
+            for r in self.recommend(user_id, current_video, n=n, now=now)
+        ]

@@ -1,0 +1,189 @@
+"""Similar-video tables (paper §4.2).
+
+For every video the system keeps "a top-N similar video list" in the KV
+store — the key data structure that makes real-time top-N generation
+tractable: instead of scoring millions of videos per request, candidates
+come from the precomputed lists of a few seed videos.
+
+Entries store the *raw* fused relevance of Eq. 12 at its update time plus
+that timestamp; the time damping of Eq. 11 is applied at read time, so a
+pair's effective similarity decays continuously until a new supporting user
+action refreshes it.
+
+Pair discovery follows the paper's topology (§5.1): when a user engages with
+a new video, it is paired with the videos already in that user's recent
+history (``GetItemPairs``), each pair is scored (``ItemPairSim``), and the
+per-video lists are updated (``ResultStorage``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..clock import Clock, SystemClock
+from ..config import SimilarityConfig
+from ..data.schema import Video
+from ..kvstore import InMemoryKVStore, KVStore, Namespace
+from .mf import MFModel
+from .similarity import SimilarityScorer
+
+
+def generate_pairs(
+    new_video: str, recent_videos: list[str], limit: int = 20
+) -> list[tuple[str, str]]:
+    """Video pairs triggered by an engagement with ``new_video``.
+
+    Pairs the new video with up to ``limit`` of the user's most recent
+    *other* videos — the co-occurrence signal the similar-video tables are
+    built from.
+    """
+    pairs = []
+    for other in recent_videos:
+        if other == new_video:
+            continue
+        pairs.append((new_video, other))
+        if len(pairs) >= limit:
+            break
+    return pairs
+
+
+class SimilarVideoTable:
+    """Incrementally maintained top-K similar-video lists.
+
+    The table needs the video catalogue (for type similarity) and the MF
+    model (for latent vectors).  Pairs whose videos have no learned vector
+    yet are ignored — they cannot be scored.
+    """
+
+    def __init__(
+        self,
+        videos: Mapping[str, Video],
+        model: MFModel,
+        config: SimilarityConfig | None = None,
+        scorer: SimilarityScorer | None = None,
+        clock: Clock | None = None,
+        store: KVStore | None = None,
+    ) -> None:
+        self.videos = videos
+        self.model = model
+        self.config = config or SimilarityConfig()
+        self.scorer = scorer or SimilarityScorer(self.config)
+        self.clock = clock or SystemClock()
+        backing = store if store is not None else InMemoryKVStore()
+        # Per video: dict other_id -> (raw_relevance, updated_at).
+        self._table = Namespace(backing, "simtable")
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def offer_pair(
+        self, video_i: str, video_j: str, now: float | None = None
+    ) -> float | None:
+        """Score the pair and refresh both videos' lists.
+
+        Returns the raw fused relevance, or ``None`` when the pair cannot
+        be scored (unknown video, missing vector, or a self-pair).
+        """
+        if video_i == video_j:
+            return None
+        meta_i = self.videos.get(video_i)
+        meta_j = self.videos.get(video_j)
+        if meta_i is None or meta_j is None:
+            return None
+        y_i = self.model.video_vector(video_i)
+        y_j = self.model.video_vector(video_j)
+        if y_i is None or y_j is None:
+            return None
+        timestamp = self.clock.now() if now is None else now
+        raw = self.scorer.raw_relevance(meta_i, y_i, meta_j, y_j)
+        self.insert_scored(video_i, video_j, raw, timestamp)
+        self.insert_scored(video_j, video_i, raw, timestamp)
+        return raw
+
+    def score_pair(
+        self, video_i: str, video_j: str
+    ) -> float | None:
+        """Compute the raw fused relevance without touching the tables.
+
+        The ``ItemPairSim`` bolt uses this: scoring happens on the pair's
+        worker, storage happens downstream on the video's worker.
+        """
+        if video_i == video_j:
+            return None
+        meta_i = self.videos.get(video_i)
+        meta_j = self.videos.get(video_j)
+        if meta_i is None or meta_j is None:
+            return None
+        y_i = self.model.video_vector(video_i)
+        y_j = self.model.video_vector(video_j)
+        if y_i is None or y_j is None:
+            return None
+        return self.scorer.raw_relevance(meta_i, y_i, meta_j, y_j)
+
+    def insert_scored(
+        self, video_id: str, other_id: str, raw: float, timestamp: float
+    ) -> None:
+        """Store one pre-scored directed entry (the ``ResultStorage`` step)."""
+        self._insert(video_id, other_id, raw, timestamp)
+
+    def _insert(
+        self, video_id: str, other_id: str, raw: float, timestamp: float
+    ) -> None:
+        """Put ``other_id`` into ``video_id``'s list, evicting if full.
+
+        Eviction compares *damped* relevances as of ``timestamp`` so a
+        stale high raw score cannot squat in the table forever.
+        """
+
+        def _update(entries: dict[str, tuple[float, float]]):
+            entries = dict(entries)
+            entries[other_id] = (raw, timestamp)
+            if len(entries) > self.config.table_size:
+                weakest = min(
+                    entries,
+                    key=lambda vid: self.scorer.damped(
+                        entries[vid][0], timestamp - entries[vid][1]
+                    ),
+                )
+                del entries[weakest]
+            return entries
+
+        self._table.update(video_id, _update, default={})
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def neighbors(
+        self, video_id: str, k: int | None = None, now: float | None = None
+    ) -> list[tuple[str, float]]:
+        """The top-``k`` similar videos with damping applied at read time.
+
+        Entries whose damped relevance is no longer positive are dropped —
+        fully forgotten per the paper's "past similar videos should be
+        gradually forgotten".
+        """
+        entries: dict[str, tuple[float, float]] = self._table.get(video_id, {})
+        if not entries:
+            return []
+        current = self.clock.now() if now is None else now
+        scored = [
+            (other, self.scorer.damped(raw, current - updated_at))
+            for other, (raw, updated_at) in entries.items()
+        ]
+        scored = [(other, sim) for other, sim in scored if sim > 0.0]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        limit = self.config.table_size if k is None else k
+        return scored[:limit]
+
+    def raw_entries(self, video_id: str) -> dict[str, tuple[float, float]]:
+        """The stored (raw relevance, updated_at) map — for tests/tools."""
+        return dict(self._table.get(video_id, {}))
+
+    def tracked_videos(self) -> list[str]:
+        """Ids of all videos that currently have a similar list."""
+        return list(self._table.keys())
+
+    def __contains__(self, video_id: str) -> bool:
+        return video_id in self._table

@@ -1,0 +1,168 @@
+"""MovieLens-format I/O.
+
+The repro band for this paper expects "numpy + MovieLens-style data": this
+module reads the classic ``u.data`` tab-separated rating format
+(``user \\t item \\t rating \\t timestamp``) and converts explicit star
+ratings into the implicit action funnel the system consumes, plus an
+optional ``u.item``-style file for video types.  It can also export a
+synthetic world to the same format, so external tools can consume our
+streams.
+
+Rating-to-action mapping (documented substitution; see DESIGN.md):
+
+====== =========================================================
+rating emitted actions
+====== =========================================================
+5      IMPRESS, CLICK, PLAY, PLAYTIME (vrate 0.95), LIKE
+4      IMPRESS, CLICK, PLAY, PLAYTIME (vrate 0.75)
+3      IMPRESS, CLICK, PLAY, PLAYTIME (vrate 0.45)
+2      IMPRESS, CLICK, PLAY  (started, abandoned early)
+1      IMPRESS, CLICK        (clicked away)
+====== =========================================================
+
+Every rating also implies the item was displayed, hence the IMPRESS.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Mapping, TextIO
+
+from ..errors import DataError
+from .schema import ActionType, UserAction, Video
+
+#: Default duration (seconds) assumed for MovieLens items, which carry none.
+DEFAULT_DURATION = 6000.0
+
+_RATING_VRATE = {5: 0.95, 4: 0.75, 3: 0.45}
+
+
+def _actions_for_rating(
+    user_id: str, video_id: str, rating: int, timestamp: float, duration: float
+) -> list[UserAction]:
+    if not 1 <= rating <= 5:
+        raise DataError(f"rating out of range [1, 5]: {rating}")
+    actions = [
+        UserAction(timestamp, user_id, video_id, ActionType.IMPRESS),
+        UserAction(timestamp + 1, user_id, video_id, ActionType.CLICK),
+    ]
+    if rating >= 2:
+        actions.append(
+            UserAction(timestamp + 3, user_id, video_id, ActionType.PLAY)
+        )
+    if rating >= 3:
+        view_time = _RATING_VRATE[min(rating, 5)] * duration
+        actions.append(
+            UserAction(
+                timestamp + 3 + view_time,
+                user_id,
+                video_id,
+                ActionType.PLAYTIME,
+                view_time=view_time,
+            )
+        )
+    if rating == 5:
+        actions.append(
+            UserAction(
+                timestamp + 4 + _RATING_VRATE[5] * duration,
+                user_id,
+                video_id,
+                ActionType.LIKE,
+            )
+        )
+    return actions
+
+
+def parse_ratings(
+    source: TextIO | Iterable[str],
+    durations: Mapping[str, float] | None = None,
+) -> list[UserAction]:
+    """Parse ``u.data``-format lines into a sorted implicit action stream.
+
+    ``durations`` optionally maps item ids to video lengths in seconds;
+    items not present use :data:`DEFAULT_DURATION`.
+    """
+    durations = durations or {}
+    actions: list[UserAction] = []
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 4:
+            raise DataError(
+                f"line {lineno}: expected 4 tab-separated fields, "
+                f"got {len(parts)}: {line!r}"
+            )
+        raw_user, raw_item, raw_rating, raw_ts = parts
+        try:
+            rating = int(raw_rating)
+            timestamp = float(raw_ts)
+        except ValueError as exc:
+            raise DataError(f"line {lineno}: non-numeric field: {line!r}") from exc
+        user_id = f"u{raw_user}"
+        video_id = f"v{raw_item}"
+        duration = durations.get(video_id, DEFAULT_DURATION)
+        actions.extend(
+            _actions_for_rating(user_id, video_id, rating, timestamp, duration)
+        )
+    actions.sort()
+    return actions
+
+
+def load_ratings_file(
+    path: str | Path, durations: Mapping[str, float] | None = None
+) -> list[UserAction]:
+    """Read a ``u.data``-format file from disk (see :func:`parse_ratings`)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_ratings(handle, durations=durations)
+
+
+def parse_items(source: TextIO | Iterable[str]) -> dict[str, Video]:
+    """Parse a simplified ``u.item``-style file: ``item_id|type|duration``.
+
+    Duration is optional (seconds); missing durations use
+    :data:`DEFAULT_DURATION`.
+    """
+    videos: dict[str, Video] = {}
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("|")
+        if len(parts) not in (2, 3):
+            raise DataError(
+                f"line {lineno}: expected 'id|type[|duration]': {line!r}"
+            )
+        video_id = f"v{parts[0]}"
+        kind = parts[1]
+        duration = DEFAULT_DURATION
+        if len(parts) == 3:
+            try:
+                duration = float(parts[2])
+            except ValueError as exc:
+                raise DataError(
+                    f"line {lineno}: bad duration {parts[2]!r}"
+                ) from exc
+        videos[video_id] = Video(video_id=video_id, kind=kind, duration=duration)
+    return videos
+
+
+def write_actions(actions: Iterable[UserAction], sink: TextIO) -> int:
+    """Write actions in the raw-log format the ActionSpout parses.
+
+    Returns the number of lines written.
+    """
+    count = 0
+    for action in actions:
+        sink.write(action.to_log_line() + "\n")
+        count += 1
+    return count
+
+
+def actions_to_log(actions: Iterable[UserAction]) -> str:
+    """Render an action stream as one raw-log string."""
+    buffer = io.StringIO()
+    write_actions(actions, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,151 @@
+"""Entities and action records shared across the whole system.
+
+The paper's input is a stream of ``<user, video, action>`` tuples carrying
+an action type and, for PlayTime, the viewed duration (§3.2, §5.1).  Videos
+have a fine-grained type used by the type-similarity factor (§4.2.2); users
+carry demographic properties (gender, age, education) used to cluster them
+into demographic groups (§5.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import DataError
+
+
+class ActionType(enum.Enum):
+    """User behaviour types of Table 1 (plus the stronger social actions
+    the paper mentions in §3.2: comment/like/share)."""
+
+    IMPRESS = "impress"
+    CLICK = "click"
+    PLAY = "play"
+    PLAYTIME = "playtime"
+    COMMENT = "comment"
+    LIKE = "like"
+    SHARE = "share"
+
+    @classmethod
+    def parse(cls, token: str) -> "ActionType":
+        try:
+            return cls(token.strip().lower())
+        except ValueError as exc:
+            raise DataError(f"unknown action type: {token!r}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class Video:
+    """A catalogue item.
+
+    ``kind`` is the fine-grained type/category the type-similarity factor
+    compares; ``duration`` is the full play length in seconds, the
+    denominator of the view rate in Eq. 6.
+    """
+
+    video_id: str
+    kind: str
+    duration: float
+    publish_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise DataError(
+                f"video {self.video_id!r}: duration must be positive"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class User:
+    """A site visitor, registered or not.
+
+    Unregistered users (a large share of traffic, per the introduction)
+    carry no demographic attributes; the demographic optimizations fall
+    back to the global group for them (§5.2.1).
+    """
+
+    user_id: str
+    registered: bool = True
+    gender: str | None = None
+    age_band: str | None = None
+    education: str | None = None
+
+    @property
+    def demographic_group(self) -> str:
+        """The demographic cluster label for this user.
+
+        The paper clusters users "according to their properties such as
+        gender, age and education" into dozens of groups; we use the
+        cross-product of the known attributes.  Users with no attributes
+        (unregistered) map to the ``"global"`` group.
+        """
+        if not self.registered:
+            return GLOBAL_GROUP
+        parts = [p for p in (self.gender, self.age_band, self.education) if p]
+        return "|".join(parts) if parts else GLOBAL_GROUP
+
+
+#: Group label for users whose demographic attributes are unknown.
+GLOBAL_GROUP = "global"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class UserAction:
+    """One implicit-feedback event.
+
+    Orderable by ``timestamp`` first so a list of actions sorts into replay
+    order.  ``view_time`` is only meaningful for PLAYTIME actions and is the
+    number of seconds actually watched.
+    """
+
+    timestamp: float
+    user_id: str = field(compare=False)
+    video_id: str = field(compare=False)
+    action: ActionType = field(compare=False)
+    view_time: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.action is ActionType.PLAYTIME and self.view_time <= 0:
+            raise DataError(
+                "PLAYTIME actions must carry a positive view_time "
+                f"(user={self.user_id!r}, video={self.video_id!r})"
+            )
+        if self.view_time < 0:
+            raise DataError("view_time cannot be negative")
+
+    # -- log-line (de)serialisation, used by the ActionSpout ---------------
+
+    def to_log_line(self) -> str:
+        """Render as the tab-separated raw-log format the spout parses."""
+        return "\t".join(
+            (
+                f"{self.timestamp:.3f}",
+                self.user_id,
+                self.video_id,
+                self.action.value,
+                f"{self.view_time:.3f}",
+            )
+        )
+
+    @classmethod
+    def from_log_line(cls, line: str) -> "UserAction":
+        """Parse a raw log line; raise :class:`DataError` on malformed input."""
+        parts = line.rstrip("\n").split("\t")
+        if len(parts) != 5:
+            raise DataError(f"malformed action log line: {line!r}")
+        ts, user_id, video_id, action_token, view_time = parts
+        if not user_id or not video_id:
+            raise DataError(f"empty user or video id in line: {line!r}")
+        try:
+            timestamp = float(ts)
+            viewed = float(view_time)
+        except ValueError as exc:
+            raise DataError(f"non-numeric field in line: {line!r}") from exc
+        return cls(
+            timestamp=timestamp,
+            user_id=user_id,
+            video_id=video_id,
+            action=ActionType.parse(action_token),
+            view_time=viewed,
+        )

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of its documented range."""
+
+
+class KVStoreError(ReproError):
+    """Base class for key-value store failures."""
+
+
+class KeyNotFound(KVStoreError):
+    """A strict read was issued for a key that is not present."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"key not found: {key!r}")
+        self.key = key
+
+
+class CASConflict(KVStoreError):
+    """A compare-and-set failed because the stored version moved on."""
+
+    def __init__(self, key: object, expected: int, actual: int) -> None:
+        super().__init__(
+            f"CAS conflict on {key!r}: expected version {expected}, found {actual}"
+        )
+        self.key = key
+        self.expected = expected
+        self.actual = actual
+
+
+class TopologyError(ReproError):
+    """The stream topology is mis-wired (unknown component, cycle, ...)."""
+
+
+class ComponentError(TopologyError):
+    """A spout or bolt raised while processing; wraps the original error."""
+
+    def __init__(self, component: str, original: BaseException) -> None:
+        super().__init__(f"component {component!r} failed: {original!r}")
+        self.component = component
+        self.original = original
+
+
+class DataError(ReproError):
+    """Malformed input data (action log line, MovieLens row, ...)."""
+
+
+class ModelError(ReproError):
+    """A model was used before being trained or with inconsistent shapes."""

@@ -1,0 +1,50 @@
+"""Evaluation: metrics (Eqs. 13-14), offline protocol (§6.1), grid search
+(Table 2), and the simulated A/B test (§6.2)."""
+
+from .abtest import ABTestHarness, ABTestResult, ArmStats
+from .gridsearch import GridPoint, GridSearchResult, grid_search
+from .multiseed import (
+    SeedSummary,
+    bootstrap_ci,
+    per_user_recall,
+    run_across_seeds,
+    summarize,
+)
+from .metrics import (
+    average_rank,
+    mean_absolute_error,
+    percentile_rank,
+    precision_at_n,
+    recall_at_n,
+    recall_curve,
+)
+from .protocol import (
+    EvalResult,
+    evaluate,
+    interest_lists_by_user,
+    liked_videos_by_user,
+)
+
+__all__ = [
+    "recall_at_n",
+    "recall_curve",
+    "average_rank",
+    "percentile_rank",
+    "precision_at_n",
+    "mean_absolute_error",
+    "EvalResult",
+    "evaluate",
+    "interest_lists_by_user",
+    "liked_videos_by_user",
+    "grid_search",
+    "GridPoint",
+    "GridSearchResult",
+    "ABTestHarness",
+    "ABTestResult",
+    "ArmStats",
+    "run_across_seeds",
+    "summarize",
+    "SeedSummary",
+    "bootstrap_ci",
+    "per_user_recall",
+]

@@ -1,0 +1,76 @@
+"""Grid search over model parameters (paper Table 2).
+
+"Parameters used in our model are determined by using grid search to obtain
+the optimal values."  The harness takes a recommender *factory* and a
+parameter grid, runs the offline protocol for every combination, and ranks
+them by recall@N — reproducing how Table 2's values were obtained.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..data.schema import UserAction, Video
+from .protocol import EvalResult, evaluate
+
+
+@dataclass(frozen=True, slots=True)
+class GridPoint:
+    """One evaluated parameter combination."""
+
+    params: Mapping[str, object]
+    result: EvalResult
+    score: float
+
+
+@dataclass(frozen=True, slots=True)
+class GridSearchResult:
+    """All evaluated points, best first."""
+
+    points: Sequence[GridPoint]
+    metric: str
+
+    @property
+    def best(self) -> GridPoint:
+        return self.points[0]
+
+    def table(self) -> list[dict[str, object]]:
+        """Rows of (params..., score) — a printable Table 2 derivation."""
+        rows = []
+        for point in self.points:
+            row = dict(point.params)
+            row[self.metric] = round(point.score, 4)
+            rows.append(row)
+        return rows
+
+
+def grid_search(
+    factory: Callable[..., object],
+    grid: Mapping[str, Sequence[object]],
+    train: Sequence[UserAction],
+    test: Sequence[UserAction],
+    videos: Mapping[str, Video] | None = None,
+    metric_n: int = 10,
+) -> GridSearchResult:
+    """Evaluate every combination in ``grid`` and rank by recall@``metric_n``.
+
+    ``factory(**params)`` must return a fresh recommender for each
+    combination (models must not share state across grid points).
+    """
+    if not grid:
+        raise ValueError("grid must contain at least one parameter")
+    names = sorted(grid)
+    points: list[GridPoint] = []
+    for values in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, values))
+        recommender = factory(**params)
+        result = evaluate(
+            recommender, train, test, videos=videos, max_n=metric_n
+        )
+        points.append(
+            GridPoint(params=params, result=result, score=result.recall(metric_n))
+        )
+    points.sort(key=lambda p: -p.score)
+    return GridSearchResult(points=points, metric=f"recall@{metric_n}")

@@ -1,0 +1,128 @@
+"""Multi-seed experiment runs and bootstrap confidence intervals.
+
+The variant margins in §6.1.2 are small (~10 % relative); on a
+laptop-scale world a single seed can flip orderings.  These helpers run
+the offline protocol across several world seeds and quantify the
+uncertainty, so EXPERIMENTS.md can report means with spreads instead of
+single draws.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..data import split_by_day
+from ..data.synthetic import SyntheticWorld, paper_world_config
+from .protocol import EvalResult, evaluate
+
+
+@dataclass(frozen=True, slots=True)
+class SeedSummary:
+    """Mean and spread of a metric across seeds."""
+
+    metric: str
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values))
+
+    def __str__(self) -> str:
+        return f"{self.metric}: {self.mean:.4f} ± {self.std:.4f} (n={len(self.values)})"
+
+
+def run_across_seeds(
+    make_recommender: Callable[[SyntheticWorld], object],
+    seeds: Sequence[int],
+    train_days: int = 6,
+    max_n: int = 10,
+    world_overrides: Mapping[str, object] | None = None,
+) -> dict[int, EvalResult]:
+    """Run the offline protocol once per world seed.
+
+    ``make_recommender(world)`` must return a fresh recommender for each
+    world.  Evaluation uses the world's ground-truth liked sets.
+    """
+    results: dict[int, EvalResult] = {}
+    for seed in seeds:
+        world = SyntheticWorld(
+            paper_world_config(seed=seed, **(world_overrides or {}))
+        )
+        split = split_by_day(world.generate_actions(), train_days=train_days)
+        recommender = make_recommender(world)
+        results[seed] = evaluate(
+            recommender,
+            split.train,
+            split.test,
+            videos=world.videos,
+            liked=world.genuinely_liked(split.test),
+            max_n=max_n,
+        )
+    return results
+
+
+def summarize(
+    results: Mapping[int, EvalResult], n: int = 10
+) -> dict[str, SeedSummary]:
+    """Aggregate recall@n and avg_rank across a multi-seed run."""
+    recalls = tuple(r.recall(n) for r in results.values())
+    ranks = tuple(r.avg_rank for r in results.values())
+    return {
+        f"recall@{n}": SeedSummary(f"recall@{n}", recalls),
+        "avg_rank": SeedSummary("avg_rank", ranks),
+    }
+
+
+def bootstrap_ci(
+    per_user_scores: Sequence[float],
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for a mean of user scores.
+
+    Recall@N is a mean over test users (Eq. 13); resampling users gives a
+    CI on the metric without distributional assumptions.
+    """
+    if not per_user_scores:
+        raise ValueError("need at least one per-user score")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    scores = np.asarray(per_user_scores, dtype=float)
+    means = np.empty(n_resamples)
+    for i in range(n_resamples):
+        sample = rng.choice(scores, size=scores.size, replace=True)
+        means[i] = sample.mean()
+    tail = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, tail)),
+        float(np.quantile(means, 1.0 - tail)),
+    )
+
+
+def per_user_recall(
+    recommended: Mapping[str, Sequence[str]],
+    liked: Mapping[str, set[str]],
+    n: int = 10,
+) -> list[float]:
+    """Per-user hit fractions — the samples recall@N averages (Eq. 13)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    scores = []
+    for user_id, videos in liked.items():
+        if not videos:
+            continue
+        top_n = list(recommended.get(user_id, ()))[:n]
+        scores.append(
+            sum(1 for video_id in top_n if video_id in videos) / n
+        )
+    return scores

@@ -1,0 +1,22 @@
+"""In-memory key-value storage substrate.
+
+Stands in for the paper's "distributed memory-based key-value storage"
+(§5.1).  See :mod:`repro.kvstore.store` for the interface,
+:mod:`repro.kvstore.sharded` for the sharded variant, and
+:mod:`repro.kvstore.cache` for the per-worker cache/combiner optimizations.
+"""
+
+from .cache import ReadThroughCache, WriteCombiner
+from .namespace import Namespace
+from .sharded import ShardedKVStore
+from .store import InMemoryKVStore, Key, KVStore
+
+__all__ = [
+    "KVStore",
+    "Key",
+    "InMemoryKVStore",
+    "ShardedKVStore",
+    "Namespace",
+    "ReadThroughCache",
+    "WriteCombiner",
+]

@@ -1,0 +1,144 @@
+"""Caching and write-combining decorators for KV stores.
+
+§5.1 of the paper notes that because fields grouping sends all queries for
+the same key to the same worker, that worker can apply "the combiner
+technique and the cache technique" to cut KV-store traffic.  These two
+classes are those techniques:
+
+* :class:`ReadThroughCache` keeps the hottest keys in a local LRU so repeated
+  reads of the same vector skip the shared store.
+* :class:`WriteCombiner` buffers associative updates (counter increments,
+  list merges) locally and flushes them in batches.
+
+Both are *per-worker* objects: correctness under fields grouping comes from
+the guarantee that no other worker touches the same keys, which is exactly
+the invariant the topology tests assert.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable
+
+from .store import Key, KVStore
+
+_MISSING = object()
+
+
+class ReadThroughCache:
+    """An LRU read cache in front of a :class:`KVStore`.
+
+    Reads fill the cache; writes go through to the backing store *and*
+    update the cache (write-through), so a worker always reads its own
+    writes.  :meth:`invalidate` drops a key, e.g. when an external writer is
+    known to have touched it.
+    """
+
+    def __init__(self, backing: KVStore, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._backing = backing
+        self._capacity = capacity
+        self._cache: OrderedDict[Key, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        value = self._backing.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        self._insert(key, value)
+        return value
+
+    def put(self, key: Key, value: Any) -> None:
+        self._backing.put(key, value)
+        self._insert(key, value)
+
+    def invalidate(self, key: Key) -> None:
+        self._cache.pop(key, None)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def _insert(self, key: Key, value: Any) -> None:
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+class WriteCombiner:
+    """Buffers associative updates and flushes them to the store in batches.
+
+    ``combine(pending, increment)`` must be associative so that combining
+    locally before writing is equivalent to writing each increment through
+    ``apply(current, increment)``.  For plain counters both are ``+``.
+
+    Flushing happens automatically every ``flush_every`` buffered updates,
+    or explicitly via :meth:`flush`.
+    """
+
+    def __init__(
+        self,
+        backing: KVStore,
+        combine: Callable[[Any, Any], Any],
+        apply: Callable[[Any, Any], Any] | None = None,
+        initial: Callable[[], Any] | None = None,
+        flush_every: int = 64,
+    ) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self._backing = backing
+        self._combine = combine
+        self._apply = apply or combine
+        self._initial = initial
+        self._flush_every = flush_every
+        self._pending: dict[Key, Any] = {}
+        self._buffered = 0
+        self.flushes = 0
+
+    def add(self, key: Key, increment: Any) -> None:
+        """Buffer ``increment`` for ``key``; may trigger an automatic flush."""
+        if key in self._pending:
+            self._pending[key] = self._combine(self._pending[key], increment)
+        else:
+            self._pending[key] = increment
+        self._buffered += 1
+        if self._buffered >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> int:
+        """Write all buffered updates through; return how many keys flushed."""
+        flushed = len(self._pending)
+        for key, delta in self._pending.items():
+
+            def _merge(current: Any, d: Any = delta) -> Any:
+                if current is _MISSING:
+                    if self._initial is None:
+                        return d
+                    return self._apply(self._initial(), d)
+                return self._apply(current, d)
+
+            self._backing.update(key, _merge, default=_MISSING)
+        self._pending.clear()
+        self._buffered = 0
+        if flushed:
+            self.flushes += 1
+        return flushed
+
+    @property
+    def pending_keys(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,72 @@
+"""Namespaced views over a shared key-value store.
+
+The Figure 2 topology keeps several logical tables in one physical KV store:
+user vectors, video vectors, user histories, and similar-video lists.  A
+:class:`Namespace` wraps a backing store and prefixes every key with a label
+so the tables cannot collide, while still sharing the backing shards.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from .store import Key, KVStore
+
+
+class Namespace(KVStore):
+    """A view of ``backing`` whose keys are transparently prefixed.
+
+    Keys are wrapped as ``(prefix, key)`` tuples, so any hashable key stays
+    usable and iteration can recover the original keys exactly.
+    """
+
+    def __init__(self, backing: KVStore, prefix: str) -> None:
+        if not prefix:
+            raise ValueError("namespace prefix must be non-empty")
+        self._backing = backing
+        self._prefix = prefix
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def _wrap(self, key: Key) -> tuple[str, Key]:
+        return (self._prefix, key)
+
+    # -- delegation ---------------------------------------------------------
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        return self._backing.get(self._wrap(key), default)
+
+    def get_strict(self, key: Key) -> Any:
+        return self._backing.get_strict(self._wrap(key))
+
+    def put(self, key: Key, value: Any, ttl: float | None = None) -> int:
+        return self._backing.put(self._wrap(key), value, ttl=ttl)
+
+    def delete(self, key: Key) -> bool:
+        return self._backing.delete(self._wrap(key))
+
+    def update(self, key: Key, fn: Callable[[Any], Any], default: Any = None) -> Any:
+        return self._backing.update(self._wrap(key), fn, default=default)
+
+    def compare_and_set(self, key: Key, value: Any, expected_version: int) -> int:
+        return self._backing.compare_and_set(self._wrap(key), value, expected_version)
+
+    def version(self, key: Key) -> int:
+        return self._backing.version(self._wrap(key))
+
+    def __contains__(self, key: Key) -> bool:
+        return self._wrap(key) in self._backing
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[Key]:
+        for key in self._backing.keys():
+            if (
+                isinstance(key, tuple)
+                and len(key) == 2
+                and key[0] == self._prefix
+            ):
+                yield key[1]

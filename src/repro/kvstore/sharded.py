@@ -1,0 +1,88 @@
+"""Sharded key-value store — the "distributed" store of the paper, in-process.
+
+Keys are routed to shards by :func:`repro.hashing.stable_bucket`, so a given
+key always lives on the same shard (and therefore behind the same lock).
+This mirrors the property the paper leans on in §5.1: a vector ``x_u`` or
+``y_i`` can be read and written "by its corresponding key ... without
+influencing other vectors", letting computation scale across workers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from ..clock import Clock
+from ..hashing import stable_bucket
+from .store import InMemoryKVStore, Key, KVStore
+
+
+class ShardedKVStore(KVStore):
+    """A :class:`KVStore` composed of ``n_shards`` independent shards.
+
+    Each shard is an :class:`InMemoryKVStore` with its own lock, so writes to
+    keys on different shards never contend.  All single-key operations are
+    delegated to the owning shard; whole-store iteration walks shards in
+    order.
+    """
+
+    def __init__(self, n_shards: int = 16, clock: Clock | None = None) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self._shards = [InMemoryKVStore(clock=clock) for _ in range(n_shards)]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_index(self, key: Key) -> int:
+        """Return the index of the shard that owns ``key`` (stable)."""
+        return stable_bucket(key, len(self._shards))
+
+    def shard_for(self, key: Key) -> InMemoryKVStore:
+        """Return the shard object that owns ``key``."""
+        return self._shards[self.shard_index(key)]
+
+    # -- delegation ---------------------------------------------------------
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        return self.shard_for(key).get(key, default)
+
+    def get_strict(self, key: Key) -> Any:
+        return self.shard_for(key).get_strict(key)
+
+    def put(self, key: Key, value: Any, ttl: float | None = None) -> int:
+        return self.shard_for(key).put(key, value, ttl=ttl)
+
+    def delete(self, key: Key) -> bool:
+        return self.shard_for(key).delete(key)
+
+    def update(self, key: Key, fn: Callable[[Any], Any], default: Any = None) -> Any:
+        return self.shard_for(key).update(key, fn, default=default)
+
+    def compare_and_set(self, key: Key, value: Any, expected_version: int) -> int:
+        return self.shard_for(key).compare_and_set(key, value, expected_version)
+
+    def version(self, key: Key) -> int:
+        return self.shard_for(key).version(key)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self.shard_for(key)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def keys(self) -> Iterator[Key]:
+        for shard in self._shards:
+            yield from shard.keys()
+
+    def sweep(self) -> int:
+        """Purge expired entries on every shard; return the total removed."""
+        return sum(shard.sweep() for shard in self._shards)
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            shard.clear()
+
+    def shard_sizes(self) -> list[int]:
+        """Per-shard entry counts — handy for checking key spread in tests."""
+        return [len(shard) for shard in self._shards]

@@ -1,0 +1,222 @@
+"""Key-value store interface and the single-shard in-memory implementation.
+
+The paper stores all mutable state — user vectors ``x_u``, video vectors
+``y_i``, user histories, and similar-video tables — in "a distributed
+memory-based key-value storage" (§5.1) so that any worker can address any
+vector by key without touching unrelated state.  :class:`KVStore` is that
+interface; :class:`InMemoryKVStore` is one shard of it.
+
+Values are stored by reference; callers that mutate values in place (numpy
+vectors) must write them back with :meth:`put` so versioning and TTL stay
+coherent.  Every entry carries a monotonically increasing version used by
+:meth:`compare_and_set`.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator
+
+from ..clock import Clock, SystemClock
+from ..errors import CASConflict, KeyNotFound
+
+Key = Hashable
+
+_MISSING = object()
+
+
+@dataclass(slots=True)
+class _Entry:
+    value: Any
+    version: int
+    expires_at: float | None
+
+
+class KVStore(ABC):
+    """Abstract key-value store with versioned writes and atomic updates."""
+
+    @abstractmethod
+    def get(self, key: Key, default: Any = None) -> Any:
+        """Return the value for ``key`` or ``default`` when absent/expired."""
+
+    @abstractmethod
+    def get_strict(self, key: Key) -> Any:
+        """Return the value for ``key``; raise :class:`KeyNotFound` if absent."""
+
+    @abstractmethod
+    def put(self, key: Key, value: Any, ttl: float | None = None) -> int:
+        """Store ``value`` under ``key``; return the new version number.
+
+        ``ttl`` is a relative lifetime in seconds; ``None`` means no expiry.
+        """
+
+    @abstractmethod
+    def delete(self, key: Key) -> bool:
+        """Remove ``key``; return ``True`` if it was present."""
+
+    @abstractmethod
+    def update(self, key: Key, fn: Callable[[Any], Any], default: Any = None) -> Any:
+        """Atomically replace ``key``'s value with ``fn(current_or_default)``.
+
+        Returns the new value.  The callable runs under the store's lock, so
+        it must be fast and must not call back into the same store.
+        """
+
+    @abstractmethod
+    def compare_and_set(self, key: Key, value: Any, expected_version: int) -> int:
+        """Write ``value`` only if the stored version equals ``expected_version``.
+
+        Version 0 means "key must be absent".  Returns the new version;
+        raises :class:`CASConflict` on mismatch.
+        """
+
+    @abstractmethod
+    def version(self, key: Key) -> int:
+        """Return the current version of ``key`` (0 when absent)."""
+
+    @abstractmethod
+    def __contains__(self, key: Key) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def keys(self) -> Iterator[Key]:
+        """Iterate over live (non-expired) keys; snapshot semantics."""
+
+    def items(self) -> Iterator[tuple[Key, Any]]:
+        """Iterate ``(key, value)`` pairs over a snapshot of live keys."""
+        for key in self.keys():
+            value = self.get(key, _MISSING)
+            if value is not _MISSING:
+                yield key, value
+
+    def setdefault(self, key: Key, factory: Callable[[], Any]) -> Any:
+        """Return ``key``'s value, inserting ``factory()`` first if absent."""
+        sentinel = _MISSING
+
+        def _init(current: Any) -> Any:
+            return factory() if current is sentinel else current
+
+        return self.update(key, _init, default=sentinel)
+
+
+class InMemoryKVStore(KVStore):
+    """A thread-safe, versioned, TTL-aware dict-backed store (one shard).
+
+    Expiry is lazy: entries are purged when read or via :meth:`sweep`.
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._clock = clock or SystemClock()
+        self._data: dict[Key, _Entry] = {}
+        self._lock = threading.RLock()
+
+    # -- internal helpers -------------------------------------------------
+
+    def _live_entry(self, key: Key) -> _Entry | None:
+        """Return the entry for ``key``, purging it if expired.  Lock held."""
+        entry = self._data.get(key)
+        if entry is None:
+            return None
+        if entry.expires_at is not None and self._clock.now() >= entry.expires_at:
+            del self._data[key]
+            return None
+        return entry
+
+    def _expiry(self, ttl: float | None) -> float | None:
+        if ttl is None:
+            return None
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        return self._clock.now() + ttl
+
+    # -- KVStore API -------------------------------------------------------
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        with self._lock:
+            entry = self._live_entry(key)
+            return default if entry is None else entry.value
+
+    def get_strict(self, key: Key) -> Any:
+        with self._lock:
+            entry = self._live_entry(key)
+            if entry is None:
+                raise KeyNotFound(key)
+            return entry.value
+
+    def put(self, key: Key, value: Any, ttl: float | None = None) -> int:
+        with self._lock:
+            entry = self._live_entry(key)
+            version = 1 if entry is None else entry.version + 1
+            self._data[key] = _Entry(value, version, self._expiry(ttl))
+            return version
+
+    def delete(self, key: Key) -> bool:
+        with self._lock:
+            return self._data.pop(key, None) is not None
+
+    def update(self, key: Key, fn: Callable[[Any], Any], default: Any = None) -> Any:
+        with self._lock:
+            entry = self._live_entry(key)
+            current = default if entry is None else entry.value
+            new_value = fn(current)
+            version = 1 if entry is None else entry.version + 1
+            expires_at = None if entry is None else entry.expires_at
+            self._data[key] = _Entry(new_value, version, expires_at)
+            return new_value
+
+    def compare_and_set(self, key: Key, value: Any, expected_version: int) -> int:
+        with self._lock:
+            entry = self._live_entry(key)
+            actual = 0 if entry is None else entry.version
+            if actual != expected_version:
+                raise CASConflict(key, expected_version, actual)
+            version = actual + 1
+            expires_at = None if entry is None else entry.expires_at
+            self._data[key] = _Entry(value, version, expires_at)
+            return version
+
+    def version(self, key: Key) -> int:
+        with self._lock:
+            entry = self._live_entry(key)
+            return 0 if entry is None else entry.version
+
+    def __contains__(self, key: Key) -> bool:
+        with self._lock:
+            return self._live_entry(key) is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            self.sweep()
+            return len(self._data)
+
+    def keys(self) -> Iterator[Key]:
+        with self._lock:
+            now = self._clock.now()
+            snapshot = [
+                key
+                for key, entry in self._data.items()
+                if entry.expires_at is None or now < entry.expires_at
+            ]
+        return iter(snapshot)
+
+    def sweep(self) -> int:
+        """Eagerly purge expired entries; return how many were removed."""
+        with self._lock:
+            now = self._clock.now()
+            dead = [
+                key
+                for key, entry in self._data.items()
+                if entry.expires_at is not None and now >= entry.expires_at
+            ]
+            for key in dead:
+                del self._data[key]
+            return len(dead)
+
+    def clear(self) -> None:
+        """Remove every entry (used between benchmark rounds)."""
+        with self._lock:
+            self._data.clear()

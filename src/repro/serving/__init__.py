@@ -1,0 +1,25 @@
+"""Serving layer: request routing, scenario accounting, load generation.
+
+Reproduces the operational envelope the paper quotes for production —
+millisecond request latency under concurrent traffic while the model keeps
+updating in real time (§4.1, §6).
+"""
+
+from .loadgen import LoadGenerator, LoadReport
+from .router import (
+    RecRequest,
+    RecResponse,
+    RequestRouter,
+    Scenario,
+    ScenarioStats,
+)
+
+__all__ = [
+    "RecRequest",
+    "RecResponse",
+    "RequestRouter",
+    "Scenario",
+    "ScenarioStats",
+    "LoadGenerator",
+    "LoadReport",
+]

@@ -1,0 +1,151 @@
+"""Load generation — drive the router with realistic concurrent traffic.
+
+The paper's deployment handles "more than 1 billion user requests every
+day, with maximum 0.1 million requests in one second" while the model
+keeps updating underneath.  :class:`LoadGenerator` reproduces that setting
+at laptop scale: N serving threads fire requests at the router (a mix of
+both scenarios) while, optionally, a trainer thread streams new user
+actions into the same recommender — serve-while-train, the system's
+defining property.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.schema import UserAction
+from .router import RecRequest, RequestRouter
+
+
+@dataclass(frozen=True, slots=True)
+class LoadReport:
+    """Outcome of one load run."""
+
+    requests: int
+    errors: int
+    elapsed_seconds: float
+    mean_latency_ms: float
+    p99_latency_ms: float
+    trained_actions: int
+
+    @property
+    def qps(self) -> float:
+        return self.requests / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+
+class LoadGenerator:
+    """Concurrent request driver with an optional live training stream."""
+
+    def __init__(
+        self,
+        router: RequestRouter,
+        user_ids: list[str],
+        video_ids: list[str],
+        related_fraction: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if not user_ids or not video_ids:
+            raise ValueError("need at least one user and one video")
+        if not 0 <= related_fraction <= 1:
+            raise ValueError("related_fraction must be in [0, 1]")
+        self.router = router
+        self.user_ids = list(user_ids)
+        self.video_ids = list(video_ids)
+        self.related_fraction = related_fraction
+        self.seed = seed
+
+    def _requests_for_worker(
+        self, worker: int, count: int, now: float
+    ) -> list[RecRequest]:
+        rng = np.random.default_rng(self.seed * 1009 + worker)
+        requests = []
+        for _ in range(count):
+            user = self.user_ids[rng.integers(0, len(self.user_ids))]
+            if rng.random() < self.related_fraction:
+                video = self.video_ids[rng.integers(0, len(self.video_ids))]
+                requests.append(
+                    RecRequest(user, current_video=video, timestamp=now)
+                )
+            else:
+                requests.append(RecRequest(user, timestamp=now))
+        return requests
+
+    def run(
+        self,
+        total_requests: int,
+        workers: int = 4,
+        now: float = 0.0,
+        training_stream: list[UserAction] | None = None,
+        observe=None,
+    ) -> LoadReport:
+        """Fire ``total_requests`` across ``workers`` threads.
+
+        When ``training_stream`` and ``observe`` are given, a dedicated
+        trainer thread feeds the stream through ``observe`` concurrently —
+        the serve-while-train scenario.
+        """
+        if total_requests < 1 or workers < 1:
+            raise ValueError("total_requests and workers must be >= 1")
+        per_worker = max(1, total_requests // workers)
+        latencies: list[float] = []
+        errors = [0]
+        lock = threading.Lock()
+
+        def serve(worker_idx: int) -> None:
+            own: list[float] = []
+            own_errors = 0
+            for request in self._requests_for_worker(
+                worker_idx, per_worker, now
+            ):
+                response = self.router.handle(request)
+                own.append(response.latency_seconds)
+                if not response.ok:
+                    own_errors += 1
+            with lock:
+                latencies.extend(own)
+                errors[0] += own_errors
+
+        trained = [0]
+        stop_training = threading.Event()
+
+        def train() -> None:
+            assert training_stream is not None and observe is not None
+            for action in training_stream:
+                if stop_training.is_set():
+                    return
+                observe(action)
+                trained[0] += 1
+
+        threads = [
+            threading.Thread(target=serve, args=(w,)) for w in range(workers)
+        ]
+        trainer = (
+            threading.Thread(target=train)
+            if training_stream is not None and observe is not None
+            else None
+        )
+        started = time.perf_counter()
+        if trainer is not None:
+            trainer.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        stop_training.set()
+        if trainer is not None:
+            trainer.join(timeout=60.0)
+
+        lat = np.array(latencies) * 1000.0
+        return LoadReport(
+            requests=len(latencies),
+            errors=errors[0],
+            elapsed_seconds=elapsed,
+            mean_latency_ms=float(lat.mean()) if lat.size else 0.0,
+            p99_latency_ms=float(np.percentile(lat, 99)) if lat.size else 0.0,
+            trained_actions=trained[0],
+        )

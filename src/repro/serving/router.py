@@ -1,0 +1,148 @@
+"""Request routing — the serving face of the system (paper §4.1, §6.2).
+
+Production serves two scenarios (Figure 6): *related videos* while the
+user watches something, and *guess you like* on the home page.  A
+:class:`RequestRouter` wraps any recommender behind a single
+``handle(request)`` entry point with per-scenario accounting, error
+isolation (a failing request returns an empty response rather than taking
+the service down) and latency tracking — the numbers the paper quotes
+("handling millions of user requests every day, with latency of
+milliseconds").
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..storm.metrics import LatencyStats
+
+
+class Scenario(enum.Enum):
+    """The two recommendation surfaces of Figure 6."""
+
+    GUESS_YOU_LIKE = "guess_you_like"
+    RELATED_VIDEOS = "related_videos"
+
+
+@dataclass(frozen=True, slots=True)
+class RecRequest:
+    """One recommendation request.
+
+    ``current_video`` set means the related-videos scenario; absent means
+    the home-page scenario seeded from the user's history.
+    """
+
+    user_id: str
+    current_video: str | None = None
+    n: int = 10
+    timestamp: float | None = None
+
+    @property
+    def scenario(self) -> Scenario:
+        return (
+            Scenario.RELATED_VIDEOS
+            if self.current_video is not None
+            else Scenario.GUESS_YOU_LIKE
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RecResponse:
+    """The served list plus bookkeeping."""
+
+    request: RecRequest
+    video_ids: tuple[str, ...]
+    latency_seconds: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def empty(self) -> bool:
+        return not self.video_ids
+
+
+@dataclass
+class ScenarioStats:
+    """Per-scenario serving counters."""
+
+    requests: int = 0
+    errors: int = 0
+    empty: int = 0
+    latency: LatencyStats = field(default_factory=LatencyStats)
+
+
+class RequestRouter:
+    """Thread-safe serving front for any recommender.
+
+    The backing recommender only needs ``recommend_ids``; the router adds
+    scenario dispatch, latency measurement, per-scenario stats and error
+    isolation.  Multiple threads may call :meth:`handle` concurrently —
+    the per-scenario counters are lock-protected, and the state the
+    recommender reads lives in the (locked) KV store.
+    """
+
+    def __init__(self, recommender) -> None:
+        self.recommender = recommender
+        self._stats = {scenario: ScenarioStats() for scenario in Scenario}
+        self._lock = threading.Lock()
+
+    def handle(self, request: RecRequest) -> RecResponse:
+        """Serve one request; never raises."""
+        started = time.perf_counter()
+        error: str | None = None
+        videos: tuple[str, ...] = ()
+        try:
+            videos = tuple(
+                self.recommender.recommend_ids(
+                    request.user_id,
+                    current_video=request.current_video,
+                    n=request.n,
+                    now=request.timestamp,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - service isolation boundary
+            error = f"{type(exc).__name__}: {exc}"
+        elapsed = time.perf_counter() - started
+
+        stats = self._stats[request.scenario]
+        with self._lock:
+            stats.requests += 1
+            stats.latency.record(elapsed)
+            if error is not None:
+                stats.errors += 1
+            elif not videos:
+                stats.empty += 1
+        return RecResponse(
+            request=request,
+            video_ids=videos,
+            latency_seconds=elapsed,
+            error=error,
+        )
+
+    def stats(self, scenario: Scenario) -> ScenarioStats:
+        return self._stats[scenario]
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Plain-dict summary of both scenarios (for dashboards/tests)."""
+        out: dict[str, dict[str, float]] = {}
+        with self._lock:
+            for scenario, stats in self._stats.items():
+                out[scenario.value] = {
+                    "requests": stats.requests,
+                    "errors": stats.errors,
+                    "empty": stats.empty,
+                    "mean_latency_ms": stats.latency.mean * 1000.0,
+                    "max_latency_ms": stats.latency.max * 1000.0,
+                }
+        return out
+
+    @property
+    def total_requests(self) -> int:
+        with self._lock:
+            return sum(s.requests for s in self._stats.values())

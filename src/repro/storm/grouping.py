@@ -1,0 +1,80 @@
+"""Stream groupings — how tuples are distributed across a bolt's workers.
+
+The paper's correctness argument (§5.1) hinges on *fields grouping*: new MF
+vectors are re-partitioned from ``ComputeMF`` to ``MFStorage`` by their KV
+key, which "guarantees only a single worker node should operate over a
+specific video or user vector at some point", making vector updates atomic
+without locks.  :class:`FieldsGrouping` implements exactly that guarantee
+with a stable hash, and the topology tests assert it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..hashing import combined_hash
+from .tuples import StreamTuple
+
+
+class Grouping(ABC):
+    """Strategy mapping an incoming tuple to target worker indices."""
+
+    @abstractmethod
+    def select(self, tup: StreamTuple, n_workers: int) -> Sequence[int]:
+        """Return the worker indices (usually one) that receive ``tup``."""
+
+    def describe(self) -> str:
+        """Human-readable label used in topology dumps."""
+        return type(self).__name__
+
+
+class ShuffleGrouping(Grouping):
+    """Round-robin distribution — even load, no key affinity.
+
+    Deterministic (a counter, not randomness) so that test runs are
+    reproducible; Storm's shuffle grouping promises only even distribution,
+    which round-robin satisfies.
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, tup: StreamTuple, n_workers: int) -> Sequence[int]:
+        worker = self._next % n_workers
+        self._next += 1
+        return (worker,)
+
+
+class FieldsGrouping(Grouping):
+    """Route by a stable hash of selected fields.
+
+    All tuples agreeing on the grouping fields go to the same worker — the
+    single-writer guarantee the paper's MF storage design relies on.
+    """
+
+    def __init__(self, fields: Sequence[str]) -> None:
+        if not fields:
+            raise ValueError("fields grouping needs at least one field")
+        self.fields = tuple(fields)
+
+    def select(self, tup: StreamTuple, n_workers: int) -> Sequence[int]:
+        key = tup.select(self.fields)
+        return (combined_hash(key) % n_workers,)
+
+    def describe(self) -> str:
+        return f"FieldsGrouping({', '.join(self.fields)})"
+
+
+class GlobalGrouping(Grouping):
+    """Send every tuple to worker 0 (a single consumer)."""
+
+    def select(self, tup: StreamTuple, n_workers: int) -> Sequence[int]:
+        return (0,)
+
+
+class AllGrouping(Grouping):
+    """Broadcast every tuple to all workers (e.g. config refresh signals)."""
+
+    def select(self, tup: StreamTuple, n_workers: int) -> Sequence[int]:
+        return tuple(range(n_workers))

@@ -1,0 +1,94 @@
+"""Per-component runtime metrics for topologies.
+
+Tracks the numbers the paper quotes for its production deployment —
+throughput (tuples/s), processing latency, failure counts — per component
+and per worker, so the scalability benchmarks can report tuples/s as a
+function of parallelism.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyStats:
+    """Streaming summary of a latency series (seconds)."""
+
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class ComponentMetrics:
+    """Counters for one spout or bolt across all of its workers."""
+
+    name: str
+    emitted: int = 0
+    processed: int = 0
+    failed: int = 0
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    per_worker_processed: dict[int, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_emit(self, count: int = 1) -> None:
+        with self._lock:
+            self.emitted += count
+
+    def record_processed(self, worker: int, seconds: float) -> None:
+        with self._lock:
+            self.processed += 1
+            self.latency.record(seconds)
+            self.per_worker_processed[worker] = (
+                self.per_worker_processed.get(worker, 0) + 1
+            )
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+
+class TopologyMetrics:
+    """Registry of :class:`ComponentMetrics`, one per topology component."""
+
+    def __init__(self) -> None:
+        self._components: dict[str, ComponentMetrics] = {}
+        self._lock = threading.Lock()
+
+    def component(self, name: str) -> ComponentMetrics:
+        with self._lock:
+            if name not in self._components:
+                self._components[name] = ComponentMetrics(name)
+            return self._components[name]
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Return a plain-dict summary suitable for printing or asserting."""
+        out: dict[str, dict[str, float]] = {}
+        with self._lock:
+            components = list(self._components.values())
+        for metrics in components:
+            out[metrics.name] = {
+                "emitted": metrics.emitted,
+                "processed": metrics.processed,
+                "failed": metrics.failed,
+                "mean_latency_s": metrics.latency.mean,
+                "max_latency_s": metrics.latency.max,
+            }
+        return out
+
+    @property
+    def total_processed(self) -> int:
+        with self._lock:
+            return sum(m.processed for m in self._components.values())

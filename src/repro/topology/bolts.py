@@ -1,0 +1,204 @@
+"""The six bolts of the Figure 2 topology (paper §5.1).
+
+Three processing lines fan out from the spout:
+
+1. ``ComputeMF -> MFStorage`` — model updating.  ``ComputeMF`` reads the
+   current vectors, computes the single-step SGD update (Algorithm 1) and
+   emits the *new* vectors re-partitioned by their storage key;
+   ``MFStorage`` — the only writer of MF parameters — persists them.  The
+   fields grouping between the two guarantees a single worker per key, so
+   vector updates are atomic without locks.
+2. ``UserHistory`` — records each user's behaviour history.
+3. ``GetItemPairs -> ItemPairSim -> ResultStorage`` — similar-video table
+   maintenance: pair the acted-on video with the user's recent history,
+   score each pair (Eq. 12's raw fusion), store the per-video top-K lists.
+
+Every bolt instance is one worker's private object; all shared state lives
+in the KV store, exactly as in the production design.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..config import OnlineConfig
+from ..core.actions import ActionWeigher, LogPlaytimeWeigher
+from ..core.feedback import extract_feedback
+from ..core.history import UserHistoryStore
+from ..core.mf import MFModel
+from ..core.simtable import SimilarVideoTable, generate_pairs
+from ..core.variants import COMBINE_MODEL, ModelVariant
+from ..data.schema import UserAction, Video
+from ..data.stream import ENGAGEMENT_ACTIONS
+from ..errors import DataError
+from ..storm import Bolt, Collector, StreamTuple
+
+#: Stream names used between the bolts.
+USER_VEC_STREAM = "user_vec"
+VIDEO_VEC_STREAM = "video_vec"
+PAIR_STREAM = "pairs"
+SIM_STREAM = "sims"
+
+
+class ComputeMFBolt(Bolt):
+    """Computes Algorithm 1's new parameters and emits them keyed for
+    storage.  Never writes vectors itself (``persist_init=False``)."""
+
+    def __init__(
+        self,
+        model: MFModel,
+        videos: Mapping[str, Video],
+        weigher: ActionWeigher | None = None,
+        variant: ModelVariant = COMBINE_MODEL,
+        online: OnlineConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.videos = videos
+        self.weigher = weigher or LogPlaytimeWeigher()
+        self.variant = variant
+        self.online = online or OnlineConfig()
+
+    def process(self, tup: StreamTuple, collector: Collector) -> None:
+        action: UserAction = tup["action"]
+        try:
+            feedback = extract_feedback(
+                action,
+                self.weigher,
+                self.variant.rating_mode,
+                self.videos.get(action.video_id),
+            )
+        except DataError:
+            return  # unqualified tuple: PLAYTIME without known duration
+        self.model.observe_rating(feedback.rating)
+        if not feedback.is_positive:
+            return
+        if self.variant.adjustable:
+            eta = self.online.eta0 + self.online.alpha * feedback.confidence
+        else:
+            eta = self.online.eta0
+        eta = min(eta, self.online.max_eta)
+        update = self.model.compute_update(
+            action.user_id,
+            action.video_id,
+            feedback.rating,
+            eta,
+            persist_init=False,
+        )
+        collector.emit(
+            {
+                "kind": "user",
+                "key": update.user_id,
+                "vector": update.x_u,
+                "bias": update.b_u,
+            },
+            stream=USER_VEC_STREAM,
+        )
+        collector.emit(
+            {
+                "kind": "video",
+                "key": update.video_id,
+                "vector": update.y_i,
+                "bias": update.b_i,
+            },
+            stream=VIDEO_VEC_STREAM,
+        )
+
+
+class MFStorageBolt(Bolt):
+    """The single writer of MF parameters (per fields-grouped key)."""
+
+    def __init__(self, model: MFModel) -> None:
+        self.model = model
+        self.writes = 0
+
+    def process(self, tup: StreamTuple, collector: Collector) -> None:
+        if tup["kind"] == "user":
+            self.model.put_user(tup["key"], tup["vector"], tup["bias"])
+        else:
+            self.model.put_video(tup["key"], tup["vector"], tup["bias"])
+        self.writes += 1
+
+
+class UserHistoryBolt(Bolt):
+    """Records user behaviour histories in the KV store."""
+
+    def __init__(self, history: UserHistoryStore) -> None:
+        self.history = history
+
+    def process(self, tup: StreamTuple, collector: Collector) -> None:
+        self.history.record(tup["action"])
+
+
+class GetItemPairsBolt(Bolt):
+    """Generates ``<video1#video2>`` pair tuples from user histories.
+
+    Pairs the acted-on video with the user's *other* recent videos; the
+    user's own history bolt runs on the same fields-grouped worker set, so
+    by Figure 2's wiring the history this bolt reads is that user's.
+    """
+
+    def __init__(
+        self, history: UserHistoryStore, max_pairs: int = 20
+    ) -> None:
+        self.history = history
+        self.max_pairs = max_pairs
+
+    def process(self, tup: StreamTuple, collector: Collector) -> None:
+        action: UserAction = tup["action"]
+        if action.action not in ENGAGEMENT_ACTIONS:
+            return
+        recent = self.history.recent(action.user_id)
+        for video_i, video_j in generate_pairs(
+            action.video_id, recent, limit=self.max_pairs
+        ):
+            key = f"{min(video_i, video_j)}#{max(video_i, video_j)}"
+            collector.emit(
+                {
+                    "pair": key,
+                    "video_i": video_i,
+                    "video_j": video_j,
+                    "ts": action.timestamp,
+                },
+                stream=PAIR_STREAM,
+            )
+
+
+class ItemPairSimBolt(Bolt):
+    """Scores pair tuples with Eq. 12's raw fusion and emits directed
+    ``<video, other, sim>`` tuples keyed by the video whose list changes."""
+
+    def __init__(self, table: SimilarVideoTable) -> None:
+        self.table = table
+
+    def process(self, tup: StreamTuple, collector: Collector) -> None:
+        raw = self.table.score_pair(tup["video_i"], tup["video_j"])
+        if raw is None:
+            return
+        for video, other in (
+            (tup["video_i"], tup["video_j"]),
+            (tup["video_j"], tup["video_i"]),
+        ):
+            collector.emit(
+                {
+                    "video": video,
+                    "other": other,
+                    "sim": raw,
+                    "ts": tup["ts"],
+                },
+                stream=SIM_STREAM,
+            )
+
+
+class ResultStorageBolt(Bolt):
+    """Maintains the per-video top-K similar lists (single writer per
+    video key, again via fields grouping)."""
+
+    def __init__(self, table: SimilarVideoTable) -> None:
+        self.table = table
+        self.writes = 0
+
+    def process(self, tup: StreamTuple, collector: Collector) -> None:
+        self.table.insert_scored(
+            tup["video"], tup["other"], tup["sim"], tup["ts"]
+        )
+        self.writes += 1

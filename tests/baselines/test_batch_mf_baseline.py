@@ -1,0 +1,91 @@
+"""Tests for the interval-retrained batch MF baseline."""
+
+import pytest
+
+from repro.baselines import BatchMFRecommender
+from repro.config import MFConfig
+from repro.data import ActionType, UserAction, Video
+
+VIDEOS = {f"v{i}": Video(f"v{i}", "t", duration=1000.0) for i in range(8)}
+
+
+def _click(user, video, ts=0.0):
+    return UserAction(ts, user, video, ActionType.CLICK)
+
+
+@pytest.fixture
+def batch():
+    return BatchMFRecommender(
+        videos=VIDEOS, mf_config=MFConfig(f=4, seed=1), epochs=3
+    )
+
+
+class TestAccumulation:
+    def test_untrained_recommends_nothing(self, batch):
+        batch.observe(_click("u", "v1"))
+        assert batch.recommend_ids("u", n=5) == []
+
+    def test_retrain_builds_model(self):
+        batch = BatchMFRecommender(
+            videos=VIDEOS,
+            mf_config=MFConfig(f=4, seed=1),
+            epochs=3,
+            exclude_watched=False,
+        )
+        for u in ("u1", "u2"):
+            for v in ("v1", "v2"):
+                batch.observe(_click(u, v))
+        batch.retrain(now=100.0)
+        assert batch.trained_at == 100.0
+        assert batch.model.has_user("u1")
+        assert batch.recommend_ids("u1", n=2)
+
+    def test_staleness_between_retrains(self, batch):
+        """The paper's critique of offline models: new users are invisible
+        until the next batch run."""
+        batch.observe(_click("u1", "v1"))
+        batch.observe(_click("u1", "v2"))
+        batch.retrain(now=1.0)
+        batch.observe(_click("late-user", "v1"))
+        assert batch.recommend_ids("late-user", n=5) == []
+        batch.retrain(now=2.0)
+        assert batch.model.has_user("late-user")
+
+    def test_binary_ratings_per_eq7(self, batch):
+        batch.observe(UserAction(0.0, "u", "v1", ActionType.LIKE))
+        batch.observe(_click("u", "v1", ts=1.0))
+        ratings = batch.ratings_by_user()
+        assert ratings == {"u": ["v1"]}
+
+    def test_confidence_tracked_as_max(self, batch):
+        batch.observe(_click("u", "v1"))
+        batch.observe(UserAction(1.0, "u", "v1", ActionType.LIKE))
+        assert batch._confidence[("u", "v1")] == pytest.approx(3.0)
+
+    def test_impressions_ignored(self, batch):
+        batch.observe(UserAction(0.0, "u", "v1", ActionType.IMPRESS))
+        assert batch.ratings_by_user() == {}
+
+    def test_retrain_with_no_data_is_noop(self, batch):
+        batch.retrain(now=1.0)
+        assert batch.trained_at is None
+
+
+class TestServing:
+    def test_watched_excluded(self, batch):
+        for u in ("u1", "u2", "u3"):
+            batch.observe(_click(u, "v1"))
+            batch.observe(_click(u, "v2"))
+        batch.retrain(now=1.0)
+        recs = batch.recommend_ids("u1", n=5)
+        assert "v1" not in recs
+        assert "v2" not in recs
+
+    def test_current_video_excluded(self, batch):
+        for u in ("u1", "u2"):
+            batch.observe(_click(u, "v1"))
+            batch.observe(_click(u, "v2"))
+        batch.retrain(now=1.0)
+        assert "v2" not in batch.recommend_ids(
+            "u1", current_video="v2", n=5
+        )

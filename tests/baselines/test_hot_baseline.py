@@ -1,0 +1,58 @@
+"""Tests for the Hot baseline."""
+
+from repro.baselines import HotRecommender
+from repro.clock import VirtualClock
+from repro.data import ActionType, UserAction
+
+
+def _click(user, video, ts=0.0):
+    return UserAction(ts, user, video, ActionType.CLICK)
+
+
+class TestHotRecommender:
+    def test_ranks_by_popularity(self):
+        hot = HotRecommender(clock=VirtualClock(0.0))
+        for i in range(5):
+            hot.observe(_click(f"u{i}", "popular"))
+        hot.observe(_click("u0", "niche"))
+        recs = hot.recommend_ids("fresh-user", n=2, now=0.0)
+        assert recs[0] == "popular"
+
+    def test_impressions_ignored(self):
+        hot = HotRecommender(clock=VirtualClock(0.0))
+        hot.observe(UserAction(0.0, "u", "v", ActionType.IMPRESS))
+        assert hot.recommend_ids("u2", n=5, now=0.0) == []
+
+    def test_recency_decay(self):
+        """Hot means hot *now*: yesterday's hit decays below today's."""
+        hot = HotRecommender(half_life=100.0, clock=VirtualClock(0.0))
+        for i in range(4):
+            hot.observe(_click(f"u{i}", "yesterday", ts=0.0))
+        hot.observe(_click("u9", "today", ts=500.0))
+        hot.observe(_click("u8", "today", ts=500.0))
+        assert hot.recommend_ids("fresh", n=1, now=500.0) == ["today"]
+
+    def test_excludes_watched(self):
+        hot = HotRecommender(clock=VirtualClock(0.0), exclude_watched=True)
+        for i in range(3):
+            hot.observe(_click(f"u{i}", "hit"))
+        hot.observe(_click("me", "hit"))
+        hot.observe(_click("u0", "second"))
+        assert "hit" not in hot.recommend_ids("me", n=2, now=0.0)
+        assert "hit" in hot.recommend_ids("someone-else", n=2, now=0.0)
+
+    def test_exclude_watched_off(self):
+        hot = HotRecommender(clock=VirtualClock(0.0), exclude_watched=False)
+        hot.observe(_click("me", "hit"))
+        assert "hit" in hot.recommend_ids("me", n=2, now=0.0)
+
+    def test_current_video_excluded(self):
+        hot = HotRecommender(clock=VirtualClock(0.0))
+        hot.observe(_click("u0", "hit"))
+        assert hot.recommend_ids("u1", current_video="hit", n=5, now=0.0) == []
+
+    def test_default_n(self):
+        hot = HotRecommender(clock=VirtualClock(0.0))
+        for i in range(15):
+            hot.observe(_click("u", f"v{i}", ts=float(i)))
+        assert len(hot.recommend_ids("other", now=20.0)) == 10

@@ -1,0 +1,130 @@
+"""Tests for the incremental item-based CF baseline (ref [17])."""
+
+import math
+
+import pytest
+
+from repro.baselines import ItemCFRecommender
+from repro.data import ActionType, UserAction, Video
+
+VIDEOS = {f"v{i}": Video(f"v{i}", "t", duration=1000.0) for i in range(10)}
+
+
+def _click(user, video, ts=0.0):
+    return UserAction(ts, user, video, ActionType.CLICK)
+
+
+class TestIncrementalSimilarity:
+    def test_cooccurrence_creates_similarity(self):
+        cf = ItemCFRecommender(videos=VIDEOS)
+        cf.observe(_click("u1", "v1"))
+        cf.observe(_click("u1", "v2"))
+        assert cf.similarity("v1", "v2") > 0
+
+    def test_no_cooccurrence_zero_similarity(self):
+        cf = ItemCFRecommender(videos=VIDEOS)
+        cf.observe(_click("u1", "v1"))
+        cf.observe(_click("u2", "v2"))
+        assert cf.similarity("v1", "v2") == 0.0
+
+    def test_self_similarity_is_one(self):
+        cf = ItemCFRecommender(videos=VIDEOS)
+        assert cf.similarity("v1", "v1") == 1.0
+
+    def test_cosine_formula_single_user(self):
+        """One user rating v1 with r1 and v2 with r2: cos = r1*r2/(r1*r2) = 1."""
+        cf = ItemCFRecommender(videos=VIDEOS)
+        cf.observe(_click("u1", "v1"))  # click weight 0.5
+        cf.observe(UserAction(1.0, "u1", "v2", ActionType.PLAY))  # 1.5
+        assert cf.similarity("v1", "v2") == pytest.approx(1.0)
+
+    def test_incremental_equals_recomputed(self):
+        """Exactness: incremental cosine == cosine from final ratings."""
+        cf = ItemCFRecommender(videos=VIDEOS)
+        stream = [
+            ("u1", "v1"), ("u1", "v2"), ("u2", "v1"), ("u2", "v3"),
+            ("u3", "v2"), ("u3", "v1"), ("u1", "v1"),
+        ]
+        for i, (u, v) in enumerate(stream):
+            cf.observe(_click(u, v, float(i)))
+        ratings = cf._ratings
+        for a, b in (("v1", "v2"), ("v1", "v3"), ("v2", "v3")):
+            dot = sum(
+                ratings[u].get(a, 0.0) * ratings[u].get(b, 0.0)
+                for u in ratings
+            )
+            norm = math.sqrt(
+                sum(r.get(a, 0.0) ** 2 for r in ratings.values())
+                * sum(r.get(b, 0.0) ** 2 for r in ratings.values())
+            )
+            expected = dot / norm if norm else 0.0
+            assert cf.similarity(a, b) == pytest.approx(expected)
+
+    def test_confidence_as_rating(self):
+        """This model uses the action weight as the rating — the scheme that
+        works for item CF (§3.2) even though it breaks MF."""
+        cf = ItemCFRecommender(videos=VIDEOS)
+        cf.observe(UserAction(0.0, "u1", "v1", ActionType.LIKE))
+        assert cf._ratings["u1"]["v1"] == pytest.approx(3.0)
+
+    def test_impressions_ignored(self):
+        cf = ItemCFRecommender(videos=VIDEOS)
+        cf.observe(UserAction(0.0, "u1", "v1", ActionType.IMPRESS))
+        assert "u1" not in cf._ratings
+
+    def test_playtime_unknown_video_skipped(self):
+        cf = ItemCFRecommender(videos=VIDEOS)
+        cf.observe(
+            UserAction(0.0, "u1", "ghost", ActionType.PLAYTIME, view_time=10)
+        )
+        assert "u1" not in cf._ratings
+
+    def test_similar_videos_sorted(self):
+        cf = ItemCFRecommender(videos=VIDEOS)
+        for u, vids in [("u1", ["v1", "v2"]), ("u2", ["v1", "v2"]),
+                        ("u3", ["v1", "v3"])]:
+            for i, v in enumerate(vids):
+                cf.observe(_click(u, v, float(i)))
+        sims = cf.similar_videos("v1", k=5)
+        values = [s for _, s in sims]
+        assert values == sorted(values, reverse=True)
+        assert sims[0][0] == "v2"
+
+
+class TestRecommendation:
+    def _small_world(self):
+        cf = ItemCFRecommender(videos=VIDEOS, exclude_watched=True)
+        # v1 and v2 co-watched by many; v3 with v1 by one user
+        for i in range(4):
+            cf.observe(_click(f"u{i}", "v1", 0.0))
+            cf.observe(_click(f"u{i}", "v2", 1.0))
+        cf.observe(_click("u9", "v1", 0.0))
+        cf.observe(_click("u9", "v3", 1.0))
+        return cf
+
+    def test_recommends_strongest_cooccurrence(self):
+        cf = self._small_world()
+        cf.observe(_click("me", "v1", 5.0))
+        recs = cf.recommend_ids("me", n=2)
+        assert recs[0] == "v2"
+
+    def test_current_video_seed(self):
+        cf = self._small_world()
+        recs = cf.recommend_ids("anyone", current_video="v1", n=2)
+        assert "v2" in recs
+
+    def test_watched_excluded(self):
+        cf = self._small_world()
+        cf.observe(_click("me", "v1", 5.0))
+        cf.observe(_click("me", "v2", 6.0))
+        assert "v2" not in cf.recommend_ids("me", n=3)
+
+    def test_unknown_user_nothing(self):
+        cf = self._small_world()
+        assert cf.recommend_ids("stranger", n=3) == []
+
+    def test_max_user_items_caps_profiles(self):
+        cf = ItemCFRecommender(videos=VIDEOS, max_user_items=2)
+        for i, v in enumerate(["v1", "v2", "v3"]):
+            cf.observe(_click("u", v, float(i)))
+        assert len(cf._ratings["u"]) == 2

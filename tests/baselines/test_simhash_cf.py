@@ -1,0 +1,112 @@
+"""Tests for the SimHash user-based CF baseline."""
+
+import pytest
+
+from repro.baselines import (
+    SIGNATURE_BITS,
+    SimHashCFRecommender,
+    hamming_similarity,
+    simhash,
+    token_hash,
+)
+from repro.data import ActionType, UserAction
+
+
+def _click(user, video, ts=0.0):
+    return UserAction(ts, user, video, ActionType.CLICK)
+
+
+class TestSimHashPrimitive:
+    def test_deterministic(self):
+        profile = {"a": 1.0, "b": 2.0}
+        assert simhash(profile) == simhash(profile)
+
+    def test_empty_profile(self):
+        assert simhash({}) == 0
+
+    def test_64_bits(self):
+        sig = simhash({f"v{i}": 1.0 for i in range(100)})
+        assert 0 <= sig < 2**SIGNATURE_BITS
+
+    def test_similar_profiles_small_hamming_distance(self):
+        base = {f"v{i}": 1.0 for i in range(50)}
+        near = dict(base)
+        near["v0"] = 0.5  # tiny perturbation
+        far = {f"w{i}": 1.0 for i in range(50)}
+        sim_near = hamming_similarity(simhash(base), simhash(near))
+        sim_far = hamming_similarity(simhash(base), simhash(far))
+        assert sim_near > sim_far
+
+    def test_token_hash_stable(self):
+        assert token_hash("v1") == token_hash("v1")
+        assert token_hash("v1") != token_hash("v2")
+
+    def test_hamming_similarity_bounds(self):
+        assert hamming_similarity(0, 0) == 1.0
+        assert hamming_similarity(0, 2**64 - 1) == 0.0
+
+
+class TestSimHashCF:
+    def _twin_world(self):
+        """Two groups of users with disjoint tastes."""
+        cf = SimHashCFRecommender(min_similarity=0.6)
+        group_a = [f"a{i}" for i in range(5)]
+        group_b = [f"b{i}" for i in range(5)]
+        for u in group_a:
+            for v in ("x1", "x2", "x3", "x4"):
+                cf.observe(_click(u, v))
+        for u in group_b:
+            for v in ("y1", "y2", "y3", "y4"):
+                cf.observe(_click(u, v))
+        # a0 misses x4; b0 misses y4
+        cf._profiles["a0"].pop("x4")
+        cf._profiles["b0"].pop("y4")
+        cf.retrain(now=0.0)
+        return cf
+
+    def test_neighbors_come_from_same_taste_group(self):
+        cf = self._twin_world()
+        neighbors = {u for u, _ in cf.neighbors("a0")}
+        assert neighbors
+        assert all(u.startswith("a") for u in neighbors)
+
+    def test_recommends_what_neighbors_watched(self):
+        cf = self._twin_world()
+        recs = cf.recommend_ids("a0", n=3)
+        assert "x4" in recs  # the video a0 missed but the group loves
+        assert not any(r.startswith("y") for r in recs)
+
+    def test_watched_excluded(self):
+        cf = self._twin_world()
+        recs = cf.recommend_ids("a0", n=10)
+        assert not {"x1", "x2", "x3"} & set(recs)
+
+    def test_untrained_returns_nothing(self):
+        cf = SimHashCFRecommender()
+        cf.observe(_click("u", "v"))
+        assert cf.recommend_ids("u", n=5) == []
+
+    def test_unknown_user_returns_nothing(self):
+        cf = self._twin_world()
+        assert cf.recommend_ids("stranger", n=5) == []
+
+    def test_batch_semantics(self):
+        cf = SimHashCFRecommender(min_similarity=0.0)
+        cf.observe(_click("u1", "a"))
+        cf.observe(_click("u2", "a"))
+        cf.retrain(now=0.0)
+        cf.observe(_click("u3", "zzz"))  # not visible until retrain
+        assert "u3" not in cf._signatures
+        cf.retrain(now=1.0)
+        assert "u3" in cf._signatures
+
+    def test_bands_must_divide_signature(self):
+        with pytest.raises(ValueError):
+            SimHashCFRecommender(bands=7)
+
+    def test_min_similarity_filters_neighbors(self):
+        cf = SimHashCFRecommender(min_similarity=1.01)  # impossible bar
+        cf.observe(_click("u1", "a"))
+        cf.observe(_click("u2", "a"))
+        cf.retrain(now=0.0)
+        assert cf.neighbors("u1") == []

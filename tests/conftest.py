@@ -1,0 +1,50 @@
+"""Shared fixtures: a small synthetic world, its action stream, and splits.
+
+The world is deliberately tiny so the whole unit suite stays fast; the
+benchmarks use the full-size calibrated world instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import SyntheticWorld, WorldConfig, split_by_day
+from repro.data.synthetic import paper_world_config
+
+
+@pytest.fixture(scope="session")
+def small_world() -> SyntheticWorld:
+    """A 60-user, 80-video, 3-day world (session-scoped: treat as read-only)."""
+    return SyntheticWorld(
+        WorldConfig(n_users=60, n_videos=80, n_types=5, days=3, seed=42)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_actions(small_world):
+    """The full sorted action stream of ``small_world``."""
+    return small_world.generate_actions()
+
+
+@pytest.fixture(scope="session")
+def small_split(small_actions):
+    """Days 0-1 train, day 2 test."""
+    return split_by_day(small_actions, train_days=2)
+
+
+@pytest.fixture(scope="session")
+def medium_world() -> SyntheticWorld:
+    """A calibrated (paper-config) world at reduced scale."""
+    return SyntheticWorld(
+        paper_world_config(n_users=120, n_videos=150, days=4, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_actions(medium_world):
+    return medium_world.generate_actions()
+
+
+@pytest.fixture(scope="session")
+def medium_split(medium_actions):
+    return split_by_day(medium_actions, train_days=3)

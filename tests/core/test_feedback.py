@@ -1,0 +1,63 @@
+"""Tests for the implicit-feedback solution (Eq. 7)."""
+
+import pytest
+
+from repro.core import LogPlaytimeWeigher, RatingMode, extract_feedback
+from repro.data import ActionType, UserAction, Video
+
+VIDEO = Video("v1", "t", duration=1000.0)
+WEIGHER = LogPlaytimeWeigher()
+
+
+def _feedback(action, mode=RatingMode.BINARY, video=None):
+    return extract_feedback(action, WEIGHER, mode, video)
+
+
+class TestBinaryMode:
+    def test_impress_is_zero_rating_zero_confidence(self):
+        fb = _feedback(UserAction(0, "u", "v1", ActionType.IMPRESS))
+        assert fb.rating == 0.0
+        assert fb.confidence == 0.0
+        assert not fb.is_positive
+
+    def test_any_engagement_is_rating_one(self):
+        """Eq. 7: r = 1 whenever w > 0, regardless of action strength."""
+        for kind in (ActionType.CLICK, ActionType.PLAY, ActionType.LIKE):
+            fb = _feedback(UserAction(0, "u", "v1", kind))
+            assert fb.rating == 1.0
+            assert fb.is_positive
+
+    def test_confidence_carries_action_weight(self):
+        click = _feedback(UserAction(0, "u", "v1", ActionType.CLICK))
+        like = _feedback(UserAction(0, "u", "v1", ActionType.LIKE))
+        assert like.confidence > click.confidence
+        assert click.rating == like.rating == 1.0
+
+    def test_playtime_confidence_uses_view_rate(self):
+        short = _feedback(
+            UserAction(0, "u", "v1", ActionType.PLAYTIME, view_time=150.0),
+            video=VIDEO,
+        )
+        long = _feedback(
+            UserAction(0, "u", "v1", ActionType.PLAYTIME, view_time=900.0),
+            video=VIDEO,
+        )
+        assert long.confidence > short.confidence
+        assert short.rating == long.rating == 1.0
+
+
+class TestConfidenceMode:
+    def test_rating_equals_weight(self):
+        fb = _feedback(
+            UserAction(0, "u", "v1", ActionType.PLAY),
+            mode=RatingMode.CONFIDENCE,
+        )
+        assert fb.rating == fb.confidence == pytest.approx(1.5)
+
+    def test_impress_still_zero(self):
+        fb = _feedback(
+            UserAction(0, "u", "v1", ActionType.IMPRESS),
+            mode=RatingMode.CONFIDENCE,
+        )
+        assert fb.rating == 0.0
+        assert not fb.is_positive

@@ -1,0 +1,112 @@
+"""Tests for MovieLens-format I/O and the rating->action conversion."""
+
+import io
+
+import pytest
+
+from repro.data import (
+    ActionType,
+    UserAction,
+    actions_to_log,
+    parse_items,
+    parse_ratings,
+    write_actions,
+)
+from repro.data.movielens import DEFAULT_DURATION, load_ratings_file
+from repro.errors import DataError
+
+
+def _lines(*rows):
+    return [("\t".join(str(x) for x in row)) for row in rows]
+
+
+class TestParseRatings:
+    def test_five_star_rating_full_funnel(self):
+        actions = parse_ratings(_lines((1, 10, 5, 1000)))
+        kinds = [a.action for a in actions]
+        assert kinds == [
+            ActionType.IMPRESS,
+            ActionType.CLICK,
+            ActionType.PLAY,
+            ActionType.PLAYTIME,
+            ActionType.LIKE,
+        ]
+        playtime = actions[3]
+        assert playtime.view_time == pytest.approx(0.95 * DEFAULT_DURATION)
+
+    def test_one_star_rating_click_only(self):
+        actions = parse_ratings(_lines((1, 10, 1, 1000)))
+        assert [a.action for a in actions] == [
+            ActionType.IMPRESS,
+            ActionType.CLICK,
+        ]
+
+    def test_three_star_rating_partial_watch(self):
+        actions = parse_ratings(_lines((1, 10, 3, 1000)))
+        playtime = [a for a in actions if a.action is ActionType.PLAYTIME][0]
+        assert playtime.view_time == pytest.approx(0.45 * DEFAULT_DURATION)
+
+    def test_ids_are_prefixed(self):
+        actions = parse_ratings(_lines((7, 42, 2, 0)))
+        assert actions[0].user_id == "u7"
+        assert actions[0].video_id == "v42"
+
+    def test_sorted_output(self):
+        actions = parse_ratings(_lines((1, 1, 5, 2000), (2, 2, 5, 1000)))
+        times = [a.timestamp for a in actions]
+        assert times == sorted(times)
+
+    def test_custom_durations(self):
+        actions = parse_ratings(
+            _lines((1, 10, 4, 0)), durations={"v10": 100.0}
+        )
+        playtime = [a for a in actions if a.action is ActionType.PLAYTIME][0]
+        assert playtime.view_time == pytest.approx(75.0)
+
+    def test_blank_and_comment_lines_skipped(self):
+        actions = parse_ratings(["", "# header", "1\t2\t3\t100"])
+        assert len(actions) > 0
+
+    @pytest.mark.parametrize(
+        "line",
+        ["1\t2\t3", "1\t2\tthree\t100", "1\t2\t9\t100"],
+    )
+    def test_malformed_rejected(self, line):
+        with pytest.raises(DataError):
+            parse_ratings([line])
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "u.data"
+        path.write_text("1\t2\t4\t100\n3\t4\t2\t200\n")
+        actions = load_ratings_file(path)
+        assert {a.user_id for a in actions} == {"u1", "u3"}
+
+
+class TestParseItems:
+    def test_basic(self):
+        videos = parse_items(["1|comedy", "2|drama|3600"])
+        assert videos["v1"].kind == "comedy"
+        assert videos["v1"].duration == DEFAULT_DURATION
+        assert videos["v2"].duration == 3600.0
+
+    def test_malformed_rejected(self):
+        with pytest.raises(DataError):
+            parse_items(["only-one-field"])
+        with pytest.raises(DataError):
+            parse_items(["1|comedy|notanumber"])
+
+
+class TestWriteActions:
+    def test_round_trip_via_log(self):
+        actions = parse_ratings(_lines((1, 2, 5, 100)))
+        log = actions_to_log(actions)
+        parsed = [
+            UserAction.from_log_line(line)
+            for line in log.strip().split("\n")
+        ]
+        assert parsed == actions
+
+    def test_write_returns_count(self):
+        actions = parse_ratings(_lines((1, 2, 3, 100)))
+        sink = io.StringIO()
+        assert write_actions(actions, sink) == len(actions)

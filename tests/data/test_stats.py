@@ -1,0 +1,101 @@
+"""Tests for dataset statistics (Tables 3 and 4 machinery)."""
+
+import pytest
+
+from repro.data import (
+    ActionType,
+    DatasetStats,
+    User,
+    UserAction,
+    dataset_stats,
+    group_stats,
+)
+
+
+def _action(user, video, ts=0.0):
+    return UserAction(ts, user, video, ActionType.CLICK)
+
+
+class TestDatasetStats:
+    def test_counts(self):
+        train = [_action("u1", "v1"), _action("u1", "v2"), _action("u2", "v1")]
+        test = [_action("u1", "v1", ts=10.0)]
+        stats = dataset_stats(train, test)
+        assert stats.n_users == 2
+        assert stats.n_videos == 2
+        assert stats.n_actions == 3
+        assert stats.n_test_actions == 1
+
+    def test_sparsity_definition(self):
+        """Paper: sparsity = #actions / (#users * #videos)."""
+        stats = DatasetStats(n_users=10, n_videos=20, n_actions=50)
+        assert stats.sparsity == pytest.approx(50 / 200)
+        assert stats.sparsity_percent == pytest.approx(25.0)
+
+    def test_sparsity_empty(self):
+        assert DatasetStats(0, 0, 0).sparsity == 0.0
+
+    def test_as_row(self):
+        row = DatasetStats(2, 4, 8, 1).as_row()
+        assert row["users"] == 2
+        assert row["sparsity_percent"] == pytest.approx(100.0)
+
+
+class TestGroupStats:
+    @pytest.fixture
+    def users(self):
+        return {
+            "u1": User("u1", gender="m", age_band="young"),
+            "u2": User("u2", gender="m", age_band="young"),
+            "u3": User("u3", gender="f", age_band="adult"),
+            "u4": User("u4", registered=False),
+        }
+
+    def test_actions_partitioned_by_group(self, users):
+        actions = [
+            _action("u1", "v1"),
+            _action("u2", "v1"),
+            _action("u3", "v2"),
+            _action("u4", "v3"),
+        ]
+        stats = group_stats(actions, users, include_global=True)
+        assert stats["m|young"].n_users == 2
+        assert stats["f|adult"].n_actions == 1
+        assert stats["global"].n_users == 1  # the unregistered user
+
+    def test_unknown_user_goes_global(self, users):
+        stats = group_stats(
+            [_action("stranger", "v")], users, include_global=True
+        )
+        assert stats["global"].n_actions == 1
+
+    def test_global_bucket_excluded_by_default(self, users):
+        """The fallback bucket is not a demographic group (Table 4 picks
+        'the three largest demographic groups')."""
+        actions = [_action("u4", "v1"), _action("u1", "v1")]
+        stats = group_stats(actions, users)
+        assert "global" not in stats
+        assert "m|young" in stats
+
+    def test_top_k_selects_largest_groups(self, users):
+        actions = (
+            [_action("u1", f"v{i}") for i in range(5)]
+            + [_action("u3", "v9")]
+            + [_action("u4", "v8")]
+        )
+        stats = group_stats(actions, users, top_k=1)
+        assert list(stats) == ["m|young"]
+
+    def test_group_stats_partition_consistency(self, medium_world, medium_actions):
+        """Group stats are consistent slices of the global dataset.  (The
+        Table 4 density claim needs a type-concentrated world and lives in
+        benchmarks/test_table4_group_stats.py.)"""
+        global_stats = dataset_stats(medium_actions)
+        groups = group_stats(
+            medium_actions, medium_world.users, include_global=True
+        )
+        assert sum(s.n_actions for s in groups.values()) == global_stats.n_actions
+        assert sum(s.n_users for s in groups.values()) == global_stats.n_users
+        for stats in groups.values():
+            assert stats.n_videos <= global_stats.n_videos
+            assert stats.n_pairs <= stats.n_actions

@@ -1,0 +1,111 @@
+"""Tests for stream cleaning, splitting and replay."""
+
+import pytest
+
+from repro.clock import SECONDS_PER_DAY
+from repro.data import (
+    ActionType,
+    UserAction,
+    day_of,
+    engaged_videos_by_user,
+    filter_active,
+    replay,
+    sort_stream,
+    split_by_day,
+)
+from repro.errors import DataError
+
+
+def _action(ts, user="u", video="v", action=ActionType.CLICK):
+    return UserAction(ts, user, video, action)
+
+
+class TestSortAndReplay:
+    def test_sort_stream(self):
+        actions = [_action(3.0), _action(1.0), _action(2.0)]
+        assert [a.timestamp for a in sort_stream(actions)] == [1.0, 2.0, 3.0]
+
+    def test_replay_yields_in_order(self):
+        actions = [_action(3.0), _action(1.0)]
+        assert [a.timestamp for a in replay(actions)] == [1.0, 3.0]
+
+
+class TestDayOf:
+    def test_day_boundaries(self):
+        assert day_of(_action(0.0)) == 0
+        assert day_of(_action(SECONDS_PER_DAY - 0.001)) == 0
+        assert day_of(_action(SECONDS_PER_DAY)) == 1
+        assert day_of(_action(6.5 * SECONDS_PER_DAY)) == 6
+
+
+class TestSplitByDay:
+    def test_chronological_partition(self):
+        actions = [
+            _action(0.5 * SECONDS_PER_DAY),
+            _action(5.5 * SECONDS_PER_DAY),
+            _action(6.5 * SECONDS_PER_DAY),
+        ]
+        split = split_by_day(actions, train_days=6)
+        assert len(split.train) == 2
+        assert len(split.test) == 1
+        assert all(day_of(a) < 6 for a in split.train)
+        assert all(day_of(a) >= 6 for a in split.test)
+
+    def test_output_sorted_even_if_input_is_not(self):
+        actions = [_action(2.0), _action(1.0), _action(0.5)]
+        split = split_by_day(actions, train_days=1)
+        assert [a.timestamp for a in split.train] == [0.5, 1.0, 2.0]
+
+    def test_invalid_train_days(self):
+        with pytest.raises(DataError):
+            split_by_day([], train_days=0)
+
+    def test_test_engagements_exclude_impressions(self):
+        actions = [
+            UserAction(7 * SECONDS_PER_DAY, "u", "v1", ActionType.IMPRESS),
+            UserAction(7 * SECONDS_PER_DAY, "u", "v2", ActionType.CLICK),
+        ]
+        split = split_by_day(actions, train_days=6)
+        assert [a.video_id for a in split.test_engagements] == ["v2"]
+
+
+class TestFilterActive:
+    def test_keeps_active_users_and_videos(self):
+        actions = []
+        # u-active interacts 5 times with v-active
+        for i in range(5):
+            actions.append(_action(float(i), "u-active", "v-active"))
+        # u-rare interacts once
+        actions.append(_action(10.0, "u-rare", "v-active"))
+        kept = filter_active(actions, min_user_actions=5, min_video_actions=5)
+        users = {a.user_id for a in kept}
+        assert users == {"u-active"}
+
+    def test_cascading_removal_reaches_fixed_point(self):
+        """Removing a user can push a video below threshold, and so on."""
+        actions = []
+        # v1 has 3 actions: 2 from u1, 1 from u2.
+        actions += [_action(1.0, "u1", "v1"), _action(2.0, "u1", "v1")]
+        actions += [_action(3.0, "u2", "v1")]
+        # u2 has only this 1 action -> removed -> v1 drops to 2 -> removed
+        kept = filter_active(actions, min_user_actions=2, min_video_actions=3)
+        assert kept == []
+
+    def test_no_filtering_with_threshold_one(self):
+        actions = [_action(1.0, "a", "x"), _action(2.0, "b", "y")]
+        assert len(filter_active(actions, 1, 1)) == 2
+
+    def test_empty_input(self):
+        assert filter_active([], 50, 50) == []
+
+
+class TestEngagedVideos:
+    def test_collects_engagements_only(self):
+        actions = [
+            UserAction(1.0, "u", "v1", ActionType.IMPRESS),
+            UserAction(2.0, "u", "v2", ActionType.CLICK),
+            UserAction(3.0, "u", "v3", ActionType.PLAYTIME, view_time=10.0),
+            UserAction(4.0, "u2", "v1", ActionType.LIKE),
+        ]
+        engaged = engaged_videos_by_user(actions)
+        assert engaged == {"u": {"v2", "v3"}, "u2": {"v1"}}

@@ -1,0 +1,193 @@
+"""Tests for the synthetic world generator: determinism, funnel structure,
+ground-truth coherence, and the statistical regimes the experiments need."""
+
+import numpy as np
+import pytest
+
+from repro.clock import SECONDS_PER_DAY
+from repro.data import ActionType, SyntheticWorld, WorldConfig
+from repro.data.synthetic import paper_world_config
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def world():
+    return SyntheticWorld(
+        WorldConfig(n_users=50, n_videos=60, n_types=4, days=3, seed=5)
+    )
+
+
+@pytest.fixture(scope="module")
+def actions(world):
+    return world.generate_actions()
+
+
+class TestWorldConstruction:
+    def test_catalogue_sizes(self, world):
+        assert len(world.users) == 50
+        assert len(world.videos) == 60
+
+    def test_video_types_within_catalogue(self, world):
+        kinds = {v.kind for v in world.videos.values()}
+        assert kinds <= set(world.type_labels)
+
+    def test_durations_positive(self, world):
+        assert all(v.duration >= 60.0 for v in world.videos.values())
+
+    def test_unregistered_users_have_no_attributes(self, world):
+        for user in world.users.values():
+            if not user.registered:
+                assert user.gender is None
+                assert user.demographic_group == "global"
+
+    def test_registered_users_have_groups(self, world):
+        groups = {
+            u.demographic_group
+            for u in world.users.values()
+            if u.registered
+        }
+        assert groups <= set(world.group_labels)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            WorldConfig(n_users=0)
+        with pytest.raises(ConfigError):
+            WorldConfig(n_types=50, n_videos=10)
+        with pytest.raises(ConfigError):
+            WorldConfig(popularity_mix=1.5)
+        with pytest.raises(ConfigError):
+            WorldConfig(days=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        cfg = WorldConfig(n_users=20, n_videos=30, days=2, seed=9)
+        w1, w2 = SyntheticWorld(cfg), SyntheticWorld(cfg)
+        assert np.allclose(w1.user_factors, w2.user_factors)
+        assert np.allclose(w1.video_factors, w2.video_factors)
+        assert w1.generate_actions() == w2.generate_actions()
+
+    def test_different_seed_different_actions(self):
+        a1 = SyntheticWorld(WorldConfig(n_users=20, n_videos=30, days=2, seed=1)).generate_actions()
+        a2 = SyntheticWorld(WorldConfig(n_users=20, n_videos=30, days=2, seed=2)).generate_actions()
+        assert a1 != a2
+
+
+class TestActionStream:
+    def test_sorted_by_time(self, actions):
+        times = [a.timestamp for a in actions]
+        assert times == sorted(times)
+
+    def test_spans_configured_days(self, actions):
+        assert max(a.timestamp for a in actions) < 3 * SECONDS_PER_DAY
+        assert min(a.timestamp for a in actions) >= 0
+
+    def test_known_entities_only(self, world, actions):
+        assert {a.user_id for a in actions} <= set(world.users)
+        assert {a.video_id for a in actions} <= set(world.videos)
+
+    def test_funnel_order_impress_before_click(self, actions):
+        """Within a (user, video) chain, CLICK never precedes IMPRESS."""
+        last_impress: dict[tuple[str, str], float] = {}
+        for a in actions:
+            key = (a.user_id, a.video_id)
+            if a.action is ActionType.IMPRESS:
+                last_impress[key] = a.timestamp
+            elif a.action is ActionType.CLICK:
+                assert key in last_impress
+                assert last_impress[key] <= a.timestamp
+
+    def test_playtime_view_rate_in_bounds(self, world, actions):
+        for a in actions:
+            if a.action is ActionType.PLAYTIME:
+                vrate = a.view_time / world.videos[a.video_id].duration
+                assert 0 < vrate <= 1.0 + 1e-9
+
+    def test_impressions_dominate(self, actions):
+        """The funnel means impressions outnumber every other action."""
+        from collections import Counter
+
+        counts = Counter(a.action for a in actions)
+        assert counts[ActionType.IMPRESS] > counts[ActionType.CLICK]
+        assert counts[ActionType.CLICK] >= counts[ActionType.PLAY]
+        assert counts[ActionType.PLAY] >= counts[ActionType.PLAYTIME] * 0.99
+
+    def test_generate_partial_days(self, world):
+        short = world.generate_actions(days=1)
+        assert max(a.timestamp for a in short) < SECONDS_PER_DAY
+
+
+class TestGroundTruth:
+    def test_affinity_symmetric_to_factors(self, world):
+        u, v = "u0", "v0"
+        expected = float(world.user_factors[0] @ world.video_factors[0])
+        assert world.affinity(u, v) == pytest.approx(expected)
+
+    def test_click_probability_monotone_in_affinity(self, world):
+        user = "u0"
+        scored = sorted(
+            world.videos, key=lambda v: world.affinity(user, v)
+        )
+        low, high = scored[0], scored[-1]
+        assert world.click_probability(user, low) < world.click_probability(
+            user, high
+        )
+
+    def test_best_videos_sorted_by_affinity(self, world):
+        best = world.best_videos("u3", k=5)
+        affinities = [world.affinity("u3", v) for v in best]
+        assert affinities == sorted(affinities, reverse=True)
+
+    def test_clicks_correlate_with_affinity(self, world, actions):
+        """Engaged (clicked) videos have higher mean affinity than impressed
+        non-clicked ones — the signal every model in the paper learns."""
+        clicked, unclicked = [], []
+        clicked_keys = {
+            (a.user_id, a.video_id)
+            for a in actions
+            if a.action is ActionType.CLICK
+        }
+        for a in actions:
+            if a.action is ActionType.IMPRESS:
+                aff = world.affinity(a.user_id, a.video_id)
+                if (a.user_id, a.video_id) in clicked_keys:
+                    clicked.append(aff)
+                else:
+                    unclicked.append(aff)
+        assert np.mean(clicked) > np.mean(unclicked) + 0.1
+
+    def test_simulate_clicks_respects_catalogue(self, world):
+        rng = np.random.default_rng(0)
+        clicked = world.simulate_clicks("u0", ["v0", "ghost", "v1"], rng)
+        assert "ghost" not in clicked
+
+    def test_simulate_clicks_rate_tracks_probability(self, world):
+        rng = np.random.default_rng(0)
+        video = world.best_videos("u0", 1)[0]
+        p = world.click_probability("u0", video)
+        hits = sum(
+            1 for _ in range(500) if world.simulate_clicks("u0", [video], rng)
+        )
+        assert hits / 500 == pytest.approx(p, abs=0.08)
+
+    def test_genuinely_liked_requires_engagement_and_affinity(self, world, actions):
+        liked = world.genuinely_liked(actions)
+        for user_id, videos in liked.items():
+            u = world._user_index[user_id]
+            scores = world.video_factors @ world.user_factors[u]
+            threshold = np.quantile(scores, 0.75)
+            for video_id in videos:
+                assert scores[world._video_index[video_id]] >= threshold
+
+
+class TestPaperWorldConfig:
+    def test_defaults(self):
+        cfg = paper_world_config()
+        assert cfg.n_users == 300
+        assert cfg.n_videos == 400
+        assert cfg.days == 7
+
+    def test_overrides(self):
+        cfg = paper_world_config(n_users=10, noise_click_rate=0.5)
+        assert cfg.n_users == 10
+        assert cfg.noise_click_rate == 0.5

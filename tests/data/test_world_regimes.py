@@ -1,0 +1,119 @@
+"""Tests for the synthetic world's behavioural regimes — the knobs that
+encode the paper's noise stories (re-watching, accidental clicks,
+time-limited watches)."""
+
+import numpy as np
+import pytest
+
+from repro.data import ActionType, SyntheticWorld, WorldConfig
+
+
+def _world(**overrides):
+    base = dict(n_users=40, n_videos=60, n_types=4, days=2, seed=13)
+    base.update(overrides)
+    return SyntheticWorld(WorldConfig(**base))
+
+
+class TestRewatchRegime:
+    def test_pure_rewatch_draws_from_favorite_pools(self):
+        world = _world(rewatch_mix=1.0, popularity_mix=0.0, favorites_per_user=5)
+        actions = world.generate_actions()
+        impressions_by_user: dict[str, set[str]] = {}
+        for a in actions:
+            if a.action is ActionType.IMPRESS:
+                impressions_by_user.setdefault(a.user_id, set()).add(a.video_id)
+        for user_id, impressed in impressions_by_user.items():
+            idx = world._user_index[user_id]
+            favorites = {f"v{j}" for j in world._favorites[idx]}
+            assert impressed <= favorites
+            assert len(impressed) <= 5
+
+    def test_rewatch_creates_repeat_engagement(self):
+        """With a favourites pool, users engage the same videos repeatedly
+        across days — the series-viewing pattern."""
+        from collections import Counter
+
+        world = _world(rewatch_mix=0.6, days=3)
+        pair_counts = Counter(
+            (a.user_id, a.video_id)
+            for a in world.generate_actions()
+            if a.action is ActionType.CLICK
+        )
+        repeats = sum(1 for c in pair_counts.values() if c >= 2)
+        assert repeats > 10
+
+    def test_favorites_lean_toward_high_affinity(self):
+        world = _world()
+        for idx in range(5):
+            user_id = f"u{idx}"
+            scores = world.video_factors @ world.user_factors[idx]
+            fav_scores = scores[world._favorites[idx]]
+            assert fav_scores.mean() > scores.mean()
+
+
+class TestNoiseRegimes:
+    def test_zero_noise_clicks_are_affinity_gated(self):
+        """Without accidental clicks, clicked impressions have clearly
+        higher affinity than non-clicked ones."""
+        world = _world(noise_click_rate=0.0)
+        actions = world.generate_actions()
+        clicked_keys = {
+            (a.user_id, a.video_id)
+            for a in actions
+            if a.action is ActionType.CLICK
+        }
+        clicked, unclicked = [], []
+        for a in actions:
+            if a.action is ActionType.IMPRESS:
+                bucket = (
+                    clicked
+                    if (a.user_id, a.video_id) in clicked_keys
+                    else unclicked
+                )
+                bucket.append(world.affinity(a.user_id, a.video_id))
+        assert np.mean(clicked) - np.mean(unclicked) > 0.15
+
+    def test_heavy_noise_floods_clicks(self):
+        """Raising the accidental-click rate raises click volume without
+        raising its affinity alignment."""
+        clean = _world(noise_click_rate=0.0)
+        noisy = _world(noise_click_rate=0.5)
+        n_clean = sum(
+            1 for a in clean.generate_actions() if a.action is ActionType.CLICK
+        )
+        n_noisy = sum(
+            1 for a in noisy.generate_actions() if a.action is ActionType.CLICK
+        )
+        assert n_noisy > n_clean * 1.3
+
+    def test_time_limited_watches_shorten_views(self):
+        """A high time-limited rate pushes the view-rate distribution down
+        even for high-affinity engagements."""
+
+        def mean_vrate(world):
+            rates = []
+            for a in world.generate_actions():
+                if a.action is ActionType.PLAYTIME:
+                    rates.append(
+                        a.view_time / world.videos[a.video_id].duration
+                    )
+            return np.mean(rates)
+
+        relaxed = _world(time_limited_rate=0.0)
+        rushed = _world(time_limited_rate=0.9)
+        assert mean_vrate(rushed) < mean_vrate(relaxed) - 0.1
+
+
+class TestStatsPairMetrics:
+    def test_pair_counts(self):
+        from repro.data import dataset_stats, UserAction
+
+        actions = [
+            UserAction(0.0, "u1", "v1", ActionType.CLICK),
+            UserAction(1.0, "u1", "v1", ActionType.PLAY),
+            UserAction(2.0, "u1", "v2", ActionType.CLICK),
+        ]
+        stats = dataset_stats(actions)
+        assert stats.n_actions == 3
+        assert stats.n_pairs == 2
+        assert stats.pair_sparsity == pytest.approx(2 / (1 * 2))

@@ -1,0 +1,86 @@
+"""Tests for the grid-search harness (Table 2)."""
+
+import pytest
+
+from repro.data import ActionType, UserAction, Video
+from repro.eval import grid_search
+
+VIDEOS = {"v1": Video("v1", "t", 1000.0), "v2": Video("v2", "t", 1000.0)}
+
+
+class _ParamRecommender:
+    """Recommends v1 first iff its parameter says so — makes the grid's
+    winner fully predictable."""
+
+    def __init__(self, prefer_v1):
+        self.prefer_v1 = prefer_v1
+
+    def observe(self, action):
+        pass
+
+    def recommend_ids(self, user_id, current_video=None, n=None, now=None):
+        return ["v1", "v2"] if self.prefer_v1 else ["v2", "v1"]
+
+
+TEST_ACTIONS = [
+    UserAction(10.0, "u", "v1", ActionType.PLAYTIME, view_time=950.0)
+]
+
+
+class TestGridSearch:
+    def test_evaluates_every_combination(self):
+        result = grid_search(
+            _ParamRecommender,
+            {"prefer_v1": [True, False]},
+            train=[],
+            test=TEST_ACTIONS,
+            videos=VIDEOS,
+            metric_n=1,
+        )
+        assert len(result.points) == 2
+
+    def test_best_first(self):
+        result = grid_search(
+            _ParamRecommender,
+            {"prefer_v1": [False, True]},
+            train=[],
+            test=TEST_ACTIONS,
+            videos=VIDEOS,
+            metric_n=1,
+        )
+        assert result.best.params == {"prefer_v1": True}
+        assert result.best.score == 1.0
+
+    def test_cartesian_product(self):
+        calls = []
+
+        def factory(a, b):
+            calls.append((a, b))
+            return _ParamRecommender(True)
+
+        grid_search(
+            factory,
+            {"a": [1, 2, 3], "b": ["x", "y"]},
+            train=[],
+            test=TEST_ACTIONS,
+            videos=VIDEOS,
+        )
+        assert len(calls) == 6
+        assert len(set(calls)) == 6
+
+    def test_table_rows_include_params_and_score(self):
+        result = grid_search(
+            _ParamRecommender,
+            {"prefer_v1": [True]},
+            train=[],
+            test=TEST_ACTIONS,
+            videos=VIDEOS,
+            metric_n=1,
+        )
+        row = result.table()[0]
+        assert row["prefer_v1"] is True
+        assert row["recall@1"] == 1.0
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_search(_ParamRecommender, {}, [], TEST_ACTIONS)

@@ -1,0 +1,92 @@
+"""Tests for multi-seed runs and bootstrap confidence intervals."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.core import RealtimeRecommender
+from repro.eval import (
+    SeedSummary,
+    bootstrap_ci,
+    per_user_recall,
+    run_across_seeds,
+    summarize,
+)
+
+
+class TestBootstrapCI:
+    def test_ci_contains_sample_mean_for_spread_data(self):
+        scores = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] * 10
+        lo, hi = bootstrap_ci(scores, n_resamples=500)
+        mean = sum(scores) / len(scores)
+        assert lo <= mean <= hi
+
+    def test_degenerate_data_gives_point_interval(self):
+        lo, hi = bootstrap_ci([0.3] * 20, n_resamples=100)
+        assert lo == hi == pytest.approx(0.3)
+
+    def test_wider_confidence_wider_interval(self):
+        scores = [0.0, 1.0] * 25
+        lo99, hi99 = bootstrap_ci(scores, confidence=0.99, n_resamples=800)
+        lo80, hi80 = bootstrap_ci(scores, confidence=0.80, n_resamples=800)
+        assert hi99 - lo99 >= hi80 - lo80
+
+    def test_deterministic_given_seed(self):
+        scores = [0.1, 0.5, 0.9, 0.2]
+        assert bootstrap_ci(scores, seed=1) == bootstrap_ci(scores, seed=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([0.1], confidence=1.5)
+
+
+class TestPerUserRecall:
+    def test_matches_eq13_mean(self):
+        from repro.eval import recall_at_n
+
+        recommended = {"u1": ["a", "b"], "u2": ["x"]}
+        liked = {"u1": {"a"}, "u2": {"y"}}
+        scores = per_user_recall(recommended, liked, n=2)
+        assert sum(scores) / len(scores) == pytest.approx(
+            recall_at_n(recommended, liked, n=2)
+        )
+
+    def test_skips_users_without_likes(self):
+        scores = per_user_recall({"u": ["a"]}, {"u": set()}, n=1)
+        assert scores == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            per_user_recall({}, {"u": {"a"}}, n=0)
+
+
+class TestSeedSummary:
+    def test_mean_and_std(self):
+        summary = SeedSummary("recall@10", (0.1, 0.2, 0.3))
+        assert summary.mean == pytest.approx(0.2)
+        assert summary.std > 0
+        assert "recall@10" in str(summary)
+
+
+class TestRunAcrossSeeds:
+    def test_two_tiny_seeds(self):
+        def make(world):
+            return RealtimeRecommender(
+                world.videos,
+                users=world.users,
+                clock=VirtualClock(0.0),
+                enable_demographic=False,
+            )
+
+        results = run_across_seeds(
+            make,
+            seeds=[1, 2],
+            train_days=2,
+            world_overrides={"n_users": 50, "n_videos": 60, "days": 3},
+        )
+        assert set(results) == {1, 2}
+        summaries = summarize(results)
+        assert 0.0 <= summaries["recall@10"].mean <= 1.0
+        assert 0.0 <= summaries["avg_rank"].mean <= 1.0
+        assert len(summaries["recall@10"].values) == 2

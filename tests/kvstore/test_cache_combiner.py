@@ -1,0 +1,148 @@
+"""Tests for the read-through cache and write combiner (§5.1 optimizations)."""
+
+import pytest
+
+from repro.kvstore import InMemoryKVStore, ReadThroughCache, WriteCombiner
+
+
+class TestReadThroughCache:
+    def test_read_fills_cache(self):
+        backing = InMemoryKVStore()
+        backing.put("k", "v")
+        cache = ReadThroughCache(backing, capacity=4)
+        assert cache.get("k") == "v"
+        assert cache.misses == 1
+        assert cache.get("k") == "v"
+        assert cache.hits == 1
+
+    def test_miss_on_absent_key_returns_default(self):
+        cache = ReadThroughCache(InMemoryKVStore(), capacity=4)
+        assert cache.get("nope", "dflt") == "dflt"
+        # absent keys are not cached
+        assert len(cache) == 0
+
+    def test_write_through(self):
+        backing = InMemoryKVStore()
+        cache = ReadThroughCache(backing, capacity=4)
+        cache.put("k", 1)
+        assert backing.get("k") == 1
+        assert cache.get("k") == 1
+        assert cache.hits == 1  # served from cache
+
+    def test_lru_eviction(self):
+        backing = InMemoryKVStore()
+        for i in range(5):
+            backing.put(f"k{i}", i)
+        cache = ReadThroughCache(backing, capacity=3)
+        for i in range(4):
+            cache.get(f"k{i}")
+        # k0 is the least recently used and must have been evicted
+        assert len(cache) == 3
+        cache.get("k0")
+        assert cache.misses == 5
+
+    def test_lru_touch_on_read(self):
+        backing = InMemoryKVStore()
+        for i in range(4):
+            backing.put(f"k{i}", i)
+        cache = ReadThroughCache(backing, capacity=2)
+        cache.get("k0")
+        cache.get("k1")
+        cache.get("k0")  # touch k0 so k1 becomes LRU
+        cache.get("k2")  # evicts k1
+        cache.get("k0")
+        assert cache.hits == 2  # second k0 read and final k0 read
+
+    def test_invalidate(self):
+        backing = InMemoryKVStore()
+        backing.put("k", "old")
+        cache = ReadThroughCache(backing, capacity=4)
+        cache.get("k")
+        backing.put("k", "new")  # external writer
+        assert cache.get("k") == "old"  # stale until invalidated
+        cache.invalidate("k")
+        assert cache.get("k") == "new"
+
+    def test_hit_rate(self):
+        backing = InMemoryKVStore()
+        backing.put("k", 1)
+        cache = ReadThroughCache(backing, capacity=2)
+        assert cache.hit_rate == 0.0
+        cache.get("k")
+        cache.get("k")
+        cache.get("k")
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReadThroughCache(InMemoryKVStore(), capacity=0)
+
+
+class TestWriteCombiner:
+    def test_combines_increments_locally(self):
+        backing = InMemoryKVStore()
+        combiner = WriteCombiner(backing, combine=lambda a, b: a + b, flush_every=100)
+        for _ in range(10):
+            combiner.add("counter", 1)
+        assert combiner.pending_keys == 1
+        assert backing.get("counter") is None  # nothing written yet
+        combiner.flush()
+        assert backing.get("counter") == 10
+
+    def test_flush_merges_with_existing_value(self):
+        backing = InMemoryKVStore()
+        backing.put("counter", 5)
+        combiner = WriteCombiner(backing, combine=lambda a, b: a + b, flush_every=100)
+        combiner.add("counter", 3)
+        combiner.flush()
+        assert backing.get("counter") == 8
+
+    def test_auto_flush_threshold(self):
+        backing = InMemoryKVStore()
+        combiner = WriteCombiner(backing, combine=lambda a, b: a + b, flush_every=3)
+        combiner.add("a", 1)
+        combiner.add("b", 1)
+        assert backing.get("a") is None
+        combiner.add("a", 1)  # third buffered update triggers flush
+        assert backing.get("a") == 2
+        assert backing.get("b") == 1
+        assert combiner.pending_keys == 0
+
+    def test_flush_returns_key_count(self):
+        backing = InMemoryKVStore()
+        combiner = WriteCombiner(backing, combine=lambda a, b: a + b, flush_every=100)
+        combiner.add("a", 1)
+        combiner.add("b", 1)
+        combiner.add("a", 1)
+        assert combiner.flush() == 2
+        assert combiner.flush() == 0
+
+    def test_initial_factory(self):
+        backing = InMemoryKVStore()
+        combiner = WriteCombiner(
+            backing,
+            combine=lambda a, b: a | b,
+            initial=set,
+            apply=lambda cur, inc: cur | inc,
+            flush_every=100,
+        )
+        combiner.add("s", {1})
+        combiner.add("s", {2})
+        combiner.flush()
+        assert backing.get("s") == {1, 2}
+
+    def test_combiner_equivalent_to_direct_writes(self):
+        """Associativity check: combined result == one-by-one updates."""
+        direct = InMemoryKVStore()
+        combined = InMemoryKVStore()
+        combiner = WriteCombiner(combined, combine=lambda a, b: a + b, flush_every=7)
+        values = [(f"k{i % 5}", i) for i in range(100)]
+        for key, delta in values:
+            direct.update(key, lambda x, d=delta: x + d, default=0)
+            combiner.add(key, delta)
+        combiner.flush()
+        assert dict(direct.items()) == dict(combined.items())
+
+    def test_flush_every_validation(self):
+        with pytest.raises(ValueError):
+            WriteCombiner(InMemoryKVStore(), combine=lambda a, b: a, flush_every=0)

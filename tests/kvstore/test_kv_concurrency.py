@@ -1,0 +1,83 @@
+"""Concurrency tests: the store must be safe under real thread interleaving."""
+
+import threading
+
+from repro.errors import CASConflict
+from repro.kvstore import InMemoryKVStore, ShardedKVStore
+
+
+def _hammer(fn, n_threads=8, n_iter=200):
+    """Run ``fn(thread_idx, i)`` from ``n_threads`` threads concurrently."""
+    errors = []
+    barrier = threading.Barrier(n_threads)
+
+    def run(thread_idx):
+        try:
+            barrier.wait()  # maximise interleaving
+            for i in range(n_iter):
+                fn(thread_idx, i)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(t,)) for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+
+
+class TestAtomicUpdate:
+    def test_concurrent_increments_lose_nothing(self):
+        store = InMemoryKVStore()
+        _hammer(lambda t, i: store.update("n", lambda x: x + 1, default=0))
+        assert store.get("n") == 8 * 200
+
+    def test_concurrent_increments_sharded(self):
+        store = ShardedKVStore(n_shards=4)
+        _hammer(
+            lambda t, i: store.update(f"k{i % 10}", lambda x: x + 1, default=0)
+        )
+        assert sum(store.get(f"k{i}") for i in range(10)) == 8 * 200
+
+    def test_concurrent_puts_distinct_keys(self):
+        store = ShardedKVStore(n_shards=4)
+        _hammer(lambda t, i: store.put((t, i), i))
+        assert len(store) == 8 * 200
+
+
+class TestCASUnderContention:
+    def test_exactly_one_winner_per_round(self):
+        store = InMemoryKVStore()
+        store.put("slot", "init")
+        wins = []
+        lock = threading.Lock()
+
+        def contender(i):
+            version = store.version("slot")
+            try:
+                store.compare_and_set("slot", f"w{i}", version)
+                with lock:
+                    wins.append(i)
+            except CASConflict:
+                pass
+
+        threads = [
+            threading.Thread(target=contender, args=(i,)) for i in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # At least one thread must have won, and the final value must be a
+        # value some winner wrote.
+        assert wins
+        assert store.get("slot") in {f"w{i}" for i in wins}
+
+    def test_version_total_order(self):
+        """Versions observed after N successful writes equal N."""
+        store = InMemoryKVStore()
+        _hammer(lambda t, i: store.put("k", i), n_threads=4, n_iter=100)
+        assert store.version("k") == 400

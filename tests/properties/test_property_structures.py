@@ -1,0 +1,144 @@
+"""Property-based tests for the stateful structures: similar-video tables,
+hot trackers, history stores and recommendation merging."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import VirtualClock
+from repro.config import MFConfig, SimilarityConfig
+from repro.core import (
+    HotVideoTracker,
+    MFModel,
+    SimilarVideoTable,
+    UserHistoryStore,
+    merge_recommendations,
+)
+from repro.data import Video
+
+video_ids = st.sampled_from([f"v{i}" for i in range(12)])
+user_ids = st.sampled_from([f"u{i}" for i in range(5)])
+
+
+def _table(table_size=4):
+    videos = {
+        f"v{i}": Video(f"v{i}", f"t{i % 3}", duration=100.0) for i in range(12)
+    }
+    model = MFModel(MFConfig(f=4, init_scale=0.5, seed=7))
+    for vid in videos:
+        model.ensure_video(vid)
+    return SimilarVideoTable(
+        videos,
+        model,
+        config=SimilarityConfig(
+            table_size=table_size, xi=500.0, candidate_pool=table_size
+        ),
+        clock=VirtualClock(0.0),
+    )
+
+
+class TestSimilarVideoTableProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(video_ids, video_ids, st.floats(0, 1000)), max_size=60
+        )
+    )
+    def test_invariants_hold_under_any_pair_sequence(self, pairs):
+        table = _table(table_size=4)
+        for video_i, video_j, ts in sorted(pairs, key=lambda p: p[2]):
+            table.offer_pair(video_i, video_j, now=ts)
+        for video in table.tracked_videos():
+            entries = table.raw_entries(video)
+            # bounded
+            assert len(entries) <= 4
+            # never self-similar
+            assert video not in entries
+            neighbors = table.neighbors(video, now=1000.0)
+            sims = [s for _, s in neighbors]
+            # sorted descending, positive only
+            assert sims == sorted(sims, reverse=True)
+            assert all(s > 0 for s in sims)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(video_ids, video_ids), min_size=1, max_size=30
+        )
+    )
+    def test_symmetry_of_offer(self, pairs):
+        """offer_pair(i, j) touches both directed lists (when scoreable)."""
+        table = _table(table_size=12)
+        for video_i, video_j in pairs:
+            raw = table.offer_pair(video_i, video_j, now=0.0)
+            if raw is not None:
+                assert video_j in table.raw_entries(video_i)
+                assert video_i in table.raw_entries(video_j)
+
+
+class TestHotTrackerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        events=st.lists(
+            st.tuples(video_ids, st.floats(0.1, 5.0), st.floats(0, 10_000)),
+            max_size=50,
+        ),
+        k=st.integers(1, 10),
+    )
+    def test_hot_list_sorted_bounded_positive(self, events, k):
+        tracker = HotVideoTracker(
+            half_life=1000.0, max_tracked=8, clock=VirtualClock(0.0)
+        )
+        for video, weight, ts in sorted(events, key=lambda e: e[2]):
+            tracker.record("g", video, weight, now=ts)
+        hot = tracker.hot("g", k, now=20_000.0)
+        assert len(hot) <= min(k, 8)
+        scores = [s for _, s in hot]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s >= 0 for s in scores)
+
+
+class TestHistoryProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        events=st.lists(st.tuples(user_ids, video_ids), max_size=60),
+        max_items=st.integers(1, 10),
+    )
+    def test_history_bounded_deduplicated_ordered(self, events, max_items):
+        history = UserHistoryStore(max_items=max_items)
+        for ts, (user, video) in enumerate(events):
+            history.add(user, video, float(ts))
+        for user in {u for u, _ in events}:
+            recent = history.recent(user)
+            assert len(recent) <= max_items
+            assert len(recent) == len(set(recent))
+            # most recent engagement first
+            last_video = next(
+                v for u, v in reversed(events) if u == user
+            )
+            if last_video in recent:
+                assert recent[0] == last_video
+
+
+class TestMergeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        primary=st.lists(video_ids, max_size=12, unique=True),
+        db=st.lists(video_ids, max_size=12, unique=True),
+        n=st.integers(1, 12),
+        fraction=st.floats(0.0, 1.0),
+    )
+    def test_merge_invariants(self, primary, db, n, fraction):
+        merged = merge_recommendations(primary, db, n, fraction)
+        # bounded, unique, sourced only from inputs
+        assert len(merged) <= n
+        assert len(merged) == len(set(merged))
+        assert set(merged) <= set(primary) | set(db)
+        # the MF head is preserved in order
+        head = [v for v in merged if v in primary[: n - int(n * fraction)]]
+        expected_head = [
+            v for v in primary[: n - int(n * fraction)] if v in merged
+        ]
+        assert head == expected_head
+        # nothing is wasted: if we returned fewer than n, we ran out of input
+        if len(merged) < n:
+            assert len(set(primary) | set(db)) == len(merged)

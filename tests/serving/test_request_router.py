@@ -1,0 +1,97 @@
+"""Tests for the request router."""
+
+import pytest
+
+from repro.serving import RecRequest, RequestRouter, Scenario
+
+
+class _Backend:
+    def __init__(self, fail_for=None):
+        self.fail_for = fail_for or set()
+        self.calls = []
+
+    def recommend_ids(self, user_id, current_video=None, n=None, now=None):
+        self.calls.append((user_id, current_video, n, now))
+        if user_id in self.fail_for:
+            raise RuntimeError("backend exploded")
+        if user_id == "empty-user":
+            return []
+        return [f"rec{i}" for i in range(n or 10)]
+
+
+class TestScenarioDispatch:
+    def test_related_videos_scenario(self):
+        request = RecRequest("u1", current_video="v9")
+        assert request.scenario is Scenario.RELATED_VIDEOS
+
+    def test_guess_you_like_scenario(self):
+        assert RecRequest("u1").scenario is Scenario.GUESS_YOU_LIKE
+
+    def test_arguments_forwarded(self):
+        backend = _Backend()
+        router = RequestRouter(backend)
+        router.handle(RecRequest("u1", current_video="v2", n=3, timestamp=7.0))
+        assert backend.calls == [("u1", "v2", 3, 7.0)]
+
+
+class TestHandling:
+    def test_successful_response(self):
+        router = RequestRouter(_Backend())
+        response = router.handle(RecRequest("u1", n=4))
+        assert response.ok
+        assert len(response.video_ids) == 4
+        assert response.latency_seconds > 0
+        assert not response.empty
+
+    def test_backend_failure_isolated(self):
+        """A failing request degrades to an empty response, never raises."""
+        router = RequestRouter(_Backend(fail_for={"bad-user"}))
+        response = router.handle(RecRequest("bad-user"))
+        assert not response.ok
+        assert response.video_ids == ()
+        assert "backend exploded" in response.error
+
+    def test_empty_results_counted(self):
+        router = RequestRouter(_Backend())
+        router.handle(RecRequest("empty-user"))
+        stats = router.stats(Scenario.GUESS_YOU_LIKE)
+        assert stats.empty == 1
+
+
+class TestStats:
+    def test_per_scenario_accounting(self):
+        router = RequestRouter(_Backend(fail_for={"bad"}))
+        router.handle(RecRequest("u1"))
+        router.handle(RecRequest("u2", current_video="v1"))
+        router.handle(RecRequest("bad", current_video="v1"))
+        home = router.stats(Scenario.GUESS_YOU_LIKE)
+        related = router.stats(Scenario.RELATED_VIDEOS)
+        assert home.requests == 1
+        assert related.requests == 2
+        assert related.errors == 1
+        assert router.total_requests == 3
+
+    def test_snapshot_shape(self):
+        router = RequestRouter(_Backend())
+        router.handle(RecRequest("u1"))
+        snap = router.snapshot()
+        assert snap["guess_you_like"]["requests"] == 1
+        assert snap["guess_you_like"]["mean_latency_ms"] >= 0
+        assert snap["related_videos"]["requests"] == 0
+
+    def test_concurrent_handling_counts_exactly(self):
+        import threading
+
+        router = RequestRouter(_Backend())
+
+        def fire():
+            for i in range(100):
+                router.handle(RecRequest(f"u{i}"))
+
+        threads = [threading.Thread(target=fire) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert router.total_requests == 600
+        assert router.stats(Scenario.GUESS_YOU_LIKE).latency.count == 600

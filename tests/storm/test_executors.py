@@ -1,0 +1,219 @@
+"""Tests for both executors: delivery semantics, grouping honoured,
+multi-stage pipelines, failure handling, metrics."""
+
+import threading
+
+import pytest
+
+from repro.errors import ComponentError
+from repro.storm import (
+    Bolt,
+    Collector,
+    LocalExecutor,
+    Spout,
+    StreamTuple,
+    ThreadedExecutor,
+    TopologyBuilder,
+)
+
+
+class ListSpout(Spout):
+    """Emits one tuple per item of a shared list."""
+
+    def __init__(self, items):
+        self._items = list(items)
+        self._pos = 0
+
+    def next_tuple(self):
+        if self._pos >= len(self._items):
+            return None
+        item = self._items[self._pos]
+        self._pos += 1
+        return StreamTuple({"value": item})
+
+
+class CollectBolt(Bolt):
+    """Appends every received value to a shared, lock-protected list."""
+
+    sink: list
+    lock = threading.Lock()
+
+    def __init__(self, sink, worker_tag=None):
+        self.sink = sink
+        self.worker_index = None
+
+    def prepare(self, ctx):
+        self.worker_index = ctx.worker_index
+
+    def process(self, tup, collector):
+        with CollectBolt.lock:
+            self.sink.append((self.worker_index, tup["value"]))
+
+
+class DoubleBolt(Bolt):
+    """Emits value*2 downstream."""
+
+    def process(self, tup, collector):
+        collector.emit({"value": tup["value"] * 2})
+
+
+class ExplodingBolt(Bolt):
+    def process(self, tup, collector):
+        raise RuntimeError("boom")
+
+
+def _simple_topology(items, sink, parallelism=1):
+    builder = TopologyBuilder()
+    spout = ListSpout(items)
+    builder.set_spout("src", lambda: spout)
+    builder.set_bolt(
+        "collect", lambda: CollectBolt(sink), parallelism=parallelism
+    ).shuffle_grouping("src")
+    return builder.build()
+
+
+@pytest.mark.parametrize("executor_cls", [LocalExecutor, ThreadedExecutor])
+class TestDelivery:
+    def test_every_tuple_delivered_once(self, executor_cls):
+        sink = []
+        topo = _simple_topology(range(100), sink)
+        executor_cls(topo).run()
+        assert sorted(v for _, v in sink) == list(range(100))
+
+    def test_two_stage_pipeline(self, executor_cls):
+        sink = []
+        builder = TopologyBuilder()
+        spout = ListSpout(range(50))
+        builder.set_spout("src", lambda: spout)
+        builder.set_bolt("double", DoubleBolt).shuffle_grouping("src")
+        builder.set_bolt("collect", lambda: CollectBolt(sink)).shuffle_grouping(
+            "double"
+        )
+        executor_cls(builder.build()).run()
+        assert sorted(v for _, v in sink) == [2 * i for i in range(50)]
+
+    def test_fields_grouping_single_worker_per_key(self, executor_cls):
+        sink = []
+        builder = TopologyBuilder()
+        items = [f"key{i % 7}" for i in range(140)]
+        spout = ListSpout(items)
+        builder.set_spout("src", lambda: spout)
+        builder.set_bolt(
+            "collect", lambda: CollectBolt(sink), parallelism=4
+        ).fields_grouping("src", ["value"])
+        executor_cls(builder.build()).run()
+        workers_per_key = {}
+        for worker, value in sink:
+            workers_per_key.setdefault(value, set()).add(worker)
+        assert all(len(ws) == 1 for ws in workers_per_key.values())
+        assert len(sink) == 140
+
+    def test_fanout_to_multiple_bolts(self, executor_cls):
+        sink_a, sink_b = [], []
+        builder = TopologyBuilder()
+        spout = ListSpout(range(30))
+        builder.set_spout("src", lambda: spout)
+        builder.set_bolt("a", lambda: CollectBolt(sink_a)).shuffle_grouping("src")
+        builder.set_bolt("b", lambda: CollectBolt(sink_b)).shuffle_grouping("src")
+        executor_cls(builder.build()).run()
+        assert len(sink_a) == 30
+        assert len(sink_b) == 30
+
+    def test_metrics_counts(self, executor_cls):
+        sink = []
+        topo = _simple_topology(range(25), sink)
+        metrics = executor_cls(topo).run()
+        snap = metrics.snapshot()
+        assert snap["src"]["emitted"] == 25
+        assert snap["collect"]["processed"] == 25
+        assert snap["collect"]["failed"] == 0
+        assert snap["collect"]["mean_latency_s"] >= 0
+
+    def test_fail_fast_raises_component_error(self, executor_cls):
+        builder = TopologyBuilder()
+        spout = ListSpout(range(5))
+        builder.set_spout("src", lambda: spout)
+        builder.set_bolt("bad", ExplodingBolt).shuffle_grouping("src")
+        with pytest.raises(ComponentError, match="bad"):
+            executor_cls(builder.build(), fail_fast=True).run()
+
+    def test_fail_soft_counts_failures(self, executor_cls):
+        builder = TopologyBuilder()
+        spout = ListSpout(range(5))
+        builder.set_spout("src", lambda: spout)
+        builder.set_bolt("bad", ExplodingBolt).shuffle_grouping("src")
+        metrics = executor_cls(builder.build(), fail_fast=False).run()
+        assert metrics.snapshot()["bad"]["failed"] == 5
+
+
+class TestLocalExecutorSpecifics:
+    def test_deterministic_worker_assignment(self):
+        """Two identical runs produce identical (worker, value) sequences."""
+        runs = []
+        for _ in range(2):
+            sink = []
+            topo = _simple_topology(range(40), sink, parallelism=3)
+            LocalExecutor(topo).run()
+            runs.append(sink)
+        assert runs[0] == runs[1]
+
+    def test_max_tuples_caps_consumption(self):
+        sink = []
+        topo = _simple_topology(range(100), sink)
+        LocalExecutor(topo).run(max_tuples=10)
+        assert len(sink) == 10
+
+    def test_spout_lifecycle_hooks(self):
+        events = []
+
+        class HookSpout(Spout):
+            def open(self, ctx):
+                events.append("open")
+
+            def next_tuple(self):
+                return None
+
+            def close(self):
+                events.append("close")
+
+        class HookBolt(Bolt):
+            def prepare(self, ctx):
+                events.append("prepare")
+
+            def process(self, tup, collector):  # pragma: no cover
+                pass
+
+            def cleanup(self):
+                events.append("cleanup")
+
+        builder = TopologyBuilder()
+        builder.set_spout("s", HookSpout)
+        builder.set_bolt("b", HookBolt).shuffle_grouping("s")
+        LocalExecutor(builder.build()).run()
+        assert events == ["open", "prepare", "close", "cleanup"]
+
+
+class TestThreadedExecutorSpecifics:
+    def test_parallel_workers_all_used(self):
+        """With shuffle grouping and enough tuples, all workers see work."""
+        sink = []
+        topo = _simple_topology(range(200), sink, parallelism=4)
+        metrics = ThreadedExecutor(topo).run()
+        per_worker = metrics.component("collect").per_worker_processed
+        assert len(per_worker) == 4
+        assert sum(per_worker.values()) == 200
+
+    def test_timeout_returns(self):
+        class EndlessSpout(Spout):
+            def next_tuple(self):
+                return StreamTuple({"value": 1})
+
+        sink = []
+        builder = TopologyBuilder()
+        builder.set_spout("src", EndlessSpout)
+        builder.set_bolt("collect", lambda: CollectBolt(sink)).shuffle_grouping(
+            "src"
+        )
+        executor = ThreadedExecutor(builder.build())
+        executor.run(timeout=0.3)  # must return, not hang
+        assert sink  # processed something before the deadline

@@ -1,0 +1,74 @@
+"""Unit tests for topology metrics (latency stats, counters, snapshots)."""
+
+import threading
+
+import pytest
+
+from repro.storm import ComponentMetrics, LatencyStats, TopologyMetrics
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        stats = LatencyStats()
+        assert stats.mean == 0.0
+        assert stats.max == 0.0
+        assert stats.count == 0
+
+    def test_record_accumulates(self):
+        stats = LatencyStats()
+        for value in (0.1, 0.3, 0.2):
+            stats.record(value)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(0.2)
+        assert stats.max == pytest.approx(0.3)
+
+
+class TestComponentMetrics:
+    def test_counters(self):
+        metrics = ComponentMetrics("bolt")
+        metrics.record_emit(3)
+        metrics.record_processed(worker=0, seconds=0.01)
+        metrics.record_processed(worker=1, seconds=0.02)
+        metrics.record_failure()
+        assert metrics.emitted == 3
+        assert metrics.processed == 2
+        assert metrics.failed == 1
+        assert metrics.per_worker_processed == {0: 1, 1: 1}
+
+    def test_thread_safety(self):
+        metrics = ComponentMetrics("bolt")
+
+        def work():
+            for _ in range(500):
+                metrics.record_processed(worker=0, seconds=0.001)
+                metrics.record_emit()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.processed == 2000
+        assert metrics.emitted == 2000
+        assert metrics.latency.count == 2000
+
+
+class TestTopologyMetrics:
+    def test_component_registry_is_stable(self):
+        metrics = TopologyMetrics()
+        a = metrics.component("a")
+        assert metrics.component("a") is a
+
+    def test_snapshot_shape(self):
+        metrics = TopologyMetrics()
+        metrics.component("x").record_processed(0, 0.5)
+        snap = metrics.snapshot()
+        assert snap["x"]["processed"] == 1
+        assert snap["x"]["mean_latency_s"] == pytest.approx(0.5)
+        assert snap["x"]["max_latency_s"] == pytest.approx(0.5)
+
+    def test_total_processed(self):
+        metrics = TopologyMetrics()
+        metrics.component("a").record_processed(0, 0.1)
+        metrics.component("b").record_processed(0, 0.1)
+        assert metrics.total_processed == 2

@@ -1,0 +1,64 @@
+"""Tests for the clock abstraction."""
+
+import time
+
+import pytest
+
+from repro.clock import SECONDS_PER_DAY, Clock, SystemClock, VirtualClock
+
+
+class TestSystemClock:
+    def test_tracks_wall_time(self):
+        clock = SystemClock()
+        before = time.time()
+        now = clock.now()
+        after = time.time()
+        assert before <= now <= after
+
+    def test_satisfies_protocol(self):
+        assert isinstance(SystemClock(), Clock)
+
+
+class TestVirtualClock:
+    def test_starts_at_given_time(self):
+        assert VirtualClock(123.5).now() == 123.5
+
+    def test_defaults_to_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock(10.0)
+        assert clock.advance(5.0) == 15.0
+        assert clock.now() == 15.0
+
+    def test_advance_by_zero_is_allowed(self):
+        clock = VirtualClock(1.0)
+        clock.advance(0.0)
+        assert clock.now() == 1.0
+
+    def test_advance_negative_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_set_pins_time(self):
+        clock = VirtualClock()
+        clock.set(100.0)
+        assert clock.now() == 100.0
+
+    def test_set_backwards_rejected(self):
+        clock = VirtualClock(50.0)
+        with pytest.raises(ValueError):
+            clock.set(49.9)
+
+    def test_does_not_move_on_its_own(self):
+        clock = VirtualClock(7.0)
+        time.sleep(0.01)
+        assert clock.now() == 7.0
+
+    def test_satisfies_protocol(self):
+        assert isinstance(VirtualClock(), Clock)
+
+
+def test_seconds_per_day_constant():
+    assert SECONDS_PER_DAY == 86_400.0

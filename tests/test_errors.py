@@ -1,0 +1,64 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CASConflict,
+    ComponentError,
+    ConfigError,
+    DataError,
+    KeyNotFound,
+    KVStoreError,
+    ModelError,
+    ReproError,
+    TopologyError,
+)
+
+
+def test_single_catchable_root():
+    """Every library error derives from ReproError."""
+    for exc_type in (
+        ConfigError,
+        KVStoreError,
+        KeyNotFound,
+        CASConflict,
+        TopologyError,
+        ComponentError,
+        DataError,
+        ModelError,
+    ):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_kvstore_hierarchy():
+    assert issubclass(KeyNotFound, KVStoreError)
+    assert issubclass(CASConflict, KVStoreError)
+
+
+def test_key_not_found_carries_key():
+    error = KeyNotFound(("user", "u1"))
+    assert error.key == ("user", "u1")
+    assert "u1" in str(error)
+
+
+def test_cas_conflict_carries_versions():
+    error = CASConflict("k", expected=2, actual=5)
+    assert error.expected == 2
+    assert error.actual == 5
+    assert "2" in str(error) and "5" in str(error)
+
+
+def test_component_error_wraps_original():
+    original = ValueError("inner")
+    error = ComponentError("compute_mf", original)
+    assert error.component == "compute_mf"
+    assert error.original is original
+    assert issubclass(ComponentError, TopologyError)
+
+
+def test_library_failures_catchable_in_one_clause():
+    def boom():
+        raise DataError("bad row")
+
+    with pytest.raises(ReproError):
+        boom()

@@ -1,0 +1,67 @@
+"""Tests for stable hashing (shard/worker routing determinism)."""
+
+import subprocess
+import sys
+
+from repro.hashing import combined_hash, stable_bucket, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_within_process(self):
+        assert stable_hash("user-42") == stable_hash("user-42")
+
+    def test_distinguishes_types(self):
+        """1 and "1" must route differently — ids are typed."""
+        assert stable_hash(1) != stable_hash("1")
+
+    def test_deterministic_across_processes(self):
+        """Unlike built-in hash(), unaffected by PYTHONHASHSEED."""
+        code = "from repro.hashing import stable_hash; print(stable_hash('k1'))"
+        outs = set()
+        for seed in ("0", "12345"):
+            result = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+            )
+            outs.add(result.stdout.strip())
+        assert len(outs) == 1
+        assert outs.pop() == str(stable_hash("k1"))
+
+    def test_spreads_keys(self):
+        """CRC32 over distinct keys should not collapse to few values."""
+        values = {stable_hash(f"key-{i}") for i in range(1000)}
+        assert len(values) > 990
+
+
+class TestStableBucket:
+    def test_within_range(self):
+        for i in range(100):
+            assert 0 <= stable_bucket(f"k{i}", 7) < 7
+
+    def test_rejects_nonpositive_buckets(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            stable_bucket("k", 0)
+
+    def test_roughly_uniform(self):
+        counts = [0] * 8
+        for i in range(4000):
+            counts[stable_bucket(f"user-{i}", 8)] += 1
+        assert min(counts) > 300  # perfectly uniform would be 500
+
+    def test_single_bucket(self):
+        assert stable_bucket("anything", 1) == 0
+
+
+class TestCombinedHash:
+    def test_order_sensitive(self):
+        assert combined_hash(["a", "b"]) != combined_hash(["b", "a"])
+
+    def test_deterministic(self):
+        assert combined_hash(("x", 1)) == combined_hash(("x", 1))
+
+    def test_empty_sequence(self):
+        assert combined_hash([]) == 0

@@ -1,0 +1,109 @@
+"""Tests for the action spout: parsing, filtering, shared sources."""
+
+import threading
+
+from repro.data import ActionType, UserAction
+from repro.storm import ComponentContext
+from repro.topology import ActionSpout, SharedSource, action_tuple
+
+
+def _ctx():
+    return ComponentContext("spout", 0, 1)
+
+
+def _open(spout):
+    spout.open(_ctx())
+    return spout
+
+
+class TestActionTuple:
+    def test_fields(self):
+        action = UserAction(1.0, "u1", "v1", ActionType.CLICK)
+        tup = action_tuple(action)
+        assert tup["user"] == "u1"
+        assert tup["video"] == "v1"
+        assert tup["action"] is action
+
+
+class TestActionSpout:
+    def test_emits_user_action_objects(self):
+        action = UserAction(1.0, "u1", "v1", ActionType.CLICK)
+        spout = _open(ActionSpout([action]))
+        tup = spout.next_tuple()
+        assert tup["action"] is action
+        assert spout.next_tuple() is None
+
+    def test_parses_raw_log_lines(self):
+        line = UserAction(2.0, "u7", "v3", ActionType.PLAY).to_log_line()
+        spout = _open(ActionSpout([line]))
+        tup = spout.next_tuple()
+        assert tup["user"] == "u7"
+        assert tup["action"].action is ActionType.PLAY
+
+    def test_filters_unqualified_tuples(self):
+        """§5.1: the spout 'filters the unqualified data tuples'."""
+        good = UserAction(1.0, "u", "v", ActionType.CLICK).to_log_line()
+        spout = _open(ActionSpout(["garbage line", good, "1.0\tu\tv\twarp\t0"]))
+        tuples = []
+        while (tup := spout.next_tuple()) is not None:
+            tuples.append(tup)
+        assert len(tuples) == 1
+        assert spout.filtered == 2
+        assert spout.emitted == 1
+
+    def test_exhaustion_returns_none_forever(self):
+        spout = _open(ActionSpout([]))
+        assert spout.next_tuple() is None
+        assert spout.next_tuple() is None
+
+    def test_mixed_sources(self):
+        action = UserAction(1.0, "u", "v", ActionType.CLICK)
+        spout = _open(ActionSpout([action, action.to_log_line()]))
+        assert spout.next_tuple() is not None
+        assert spout.next_tuple() is not None
+        assert spout.next_tuple() is None
+
+
+class TestSharedSource:
+    def test_each_item_consumed_once(self):
+        source = SharedSource(range(100))
+        a = _open(ActionSpout([]))  # not used; just to mirror API
+        seen = []
+        for item in source:
+            seen.append(item)
+        assert seen == list(range(100))
+
+    def test_two_spouts_split_the_stream(self):
+        actions = [
+            UserAction(float(i), f"u{i}", "v", ActionType.CLICK)
+            for i in range(50)
+        ]
+        shared = SharedSource(actions)
+        s1, s2 = _open(ActionSpout(shared)), _open(ActionSpout(shared))
+        got = []
+        while True:
+            t1 = s1.next_tuple()
+            t2 = s2.next_tuple()
+            if t1 is None and t2 is None:
+                break
+            got += [t for t in (t1, t2) if t is not None]
+        users = [t["user"] for t in got]
+        assert sorted(users) == sorted(f"u{i}" for i in range(50))
+        assert len(users) == 50  # no duplication
+
+    def test_thread_safe_consumption(self):
+        shared = SharedSource(range(2000))
+        out = []
+        lock = threading.Lock()
+
+        def drain():
+            for item in shared:
+                with lock:
+                    out.append(item)
+
+        threads = [threading.Thread(target=drain) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(out) == list(range(2000))
