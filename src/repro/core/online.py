@@ -11,7 +11,7 @@ with ``r_ui = 0`` (impressions) never update the model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Protocol
 
 from ..config import OnlineConfig
 from ..data.schema import ActionType, UserAction, Video
@@ -20,6 +20,18 @@ from .actions import ActionWeigher, LogPlaytimeWeigher
 from .feedback import Feedback, extract_feedback
 from .mf import MFModel, MFUpdate
 from .variants import COMBINE_MODEL, ModelVariant
+
+
+class ActionLog(Protocol):
+    """Anything that can durably record an action before it is applied.
+
+    Structurally matches :class:`repro.reliability.ActionWAL` without
+    importing it — core stays free of the reliability package.
+    """
+
+    def append(self, action: UserAction) -> int:
+        """Persist one action; return its log position."""
+        ...  # pragma: no cover - protocol body
 
 
 @dataclass(slots=True)
@@ -52,12 +64,14 @@ class OnlineTrainer:
         weigher: ActionWeigher | None = None,
         variant: ModelVariant = COMBINE_MODEL,
         config: OnlineConfig | None = None,
+        wal: ActionLog | None = None,
     ) -> None:
         self.model = model
         self.videos = videos or {}
         self.weigher = weigher or LogPlaytimeWeigher()
         self.variant = variant
         self.config = config or OnlineConfig()
+        self.wal = wal
         self.stats = TrainerStats()
 
     def learning_rate(self, confidence: float) -> float:
@@ -81,7 +95,13 @@ class OnlineTrainer:
         ``None`` means the action carried no positive evidence (an
         impression) or was invalid (PLAYTIME without a known duration).
         Either way ``mu`` bookkeeping still happens for valid actions.
+
+        With a write-ahead log attached the action is logged *before* any
+        state changes, so crash recovery can replay it
+        (:mod:`repro.reliability.replay`).
         """
+        if self.wal is not None:
+            self.wal.append(action)
         self.stats.seen += 1
         try:
             feedback = self.feedback_for(action)

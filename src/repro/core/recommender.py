@@ -35,7 +35,7 @@ from .candidates import CandidateSelector
 from .demographic import DemographicRecommender, merge_recommendations
 from .history import UserHistoryStore
 from .mf import MFModel
-from .online import OnlineTrainer
+from .online import ActionLog, OnlineTrainer
 from .simtable import SimilarVideoTable, generate_pairs
 from .variants import COMBINE_MODEL, ModelVariant
 
@@ -66,6 +66,7 @@ class RealtimeRecommender:
         clock: Clock | None = None,
         store: KVStore | None = None,
         enable_demographic: bool = True,
+        wal: "ActionLog | None" = None,
     ) -> None:
         self.videos = videos
         self.users = users or {}
@@ -82,6 +83,7 @@ class RealtimeRecommender:
             weigher=self.weigher,
             variant=variant,
             config=self.config.online,
+            wal=wal,
         )
         self.history = UserHistoryStore(store=backing)
         self.table = SimilarVideoTable(

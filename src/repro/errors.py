@@ -40,6 +40,26 @@ class CASConflict(KVStoreError):
         self.actual = actual
 
 
+class TransientKVError(KVStoreError):
+    """A shard failed transiently (timeout, connection blip); retryable."""
+
+
+class ReliabilityError(ReproError):
+    """Base class for checkpoint / write-ahead-log / recovery failures."""
+
+
+class CheckpointError(ReliabilityError):
+    """A checkpoint could not be written, validated, or restored."""
+
+
+class WALError(ReliabilityError):
+    """The write-ahead log is unreadable beyond normal torn-tail truncation."""
+
+
+class InjectedFault(ReproError):
+    """A deliberately injected failure from the fault-injection harness."""
+
+
 class TopologyError(ReproError):
     """The stream topology is mis-wired (unknown component, cycle, ...)."""
 

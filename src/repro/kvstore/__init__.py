@@ -9,11 +9,12 @@ Stands in for the paper's "distributed memory-based key-value storage"
 from .cache import ReadThroughCache, WriteCombiner
 from .namespace import Namespace
 from .sharded import ShardedKVStore
-from .store import InMemoryKVStore, Key, KVStore
+from .store import EntrySnapshot, InMemoryKVStore, Key, KVStore
 
 __all__ = [
     "KVStore",
     "Key",
+    "EntrySnapshot",
     "InMemoryKVStore",
     "ShardedKVStore",
     "Namespace",

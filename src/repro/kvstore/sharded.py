@@ -9,11 +9,11 @@ influencing other vectors", letting computation scale across workers.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from ..clock import Clock
 from ..hashing import stable_bucket
-from .store import InMemoryKVStore, Key, KVStore
+from .store import EntrySnapshot, InMemoryKVStore, Key, KVStore
 
 
 class ShardedKVStore(KVStore):
@@ -86,3 +86,22 @@ class ShardedKVStore(KVStore):
     def shard_sizes(self) -> list[int]:
         """Per-shard entry counts — handy for checking key spread in tests."""
         return [len(shard) for shard in self._shards]
+
+    # -- checkpoint support ------------------------------------------------
+
+    def snapshot_entries(self) -> list[EntrySnapshot]:
+        """Exact capture across all shards (shard by shard, not atomic
+        across shards — checkpoint callers quiesce writers first)."""
+        entries: list[EntrySnapshot] = []
+        for shard in self._shards:
+            entries.extend(shard.snapshot_entries())
+        return entries
+
+    def restore_entries(self, entries: Iterable[EntrySnapshot]) -> int:
+        """Exact restore; each entry is routed to its owning shard, so a
+        snapshot taken at one shard count restores correctly at another."""
+        count = 0
+        for entry in entries:
+            self.shard_for(entry.key).restore_entries([entry])
+            count += 1
+        return count

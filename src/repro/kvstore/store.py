@@ -17,7 +17,7 @@ from __future__ import annotations
 import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Iterator
+from typing import Any, Callable, Hashable, Iterable, Iterator
 
 from ..clock import Clock, SystemClock
 from ..errors import CASConflict, KeyNotFound
@@ -29,6 +29,21 @@ _MISSING = object()
 
 @dataclass(slots=True)
 class _Entry:
+    value: Any
+    version: int
+    expires_at: float | None
+
+
+@dataclass(frozen=True, slots=True)
+class EntrySnapshot:
+    """One live entry captured with its full metadata.
+
+    ``expires_at`` is an absolute timestamp (same clock domain as the
+    store's), so a snapshot restored under the same clock keeps the exact
+    remaining TTL.
+    """
+
+    key: Key
     value: Any
     version: int
     expires_at: float | None
@@ -101,6 +116,32 @@ class KVStore(ABC):
             return factory() if current is sentinel else current
 
         return self.update(key, _init, default=sentinel)
+
+    # -- checkpoint support ------------------------------------------------
+
+    def snapshot_entries(self) -> list[EntrySnapshot]:
+        """Capture every live entry with version and expiry metadata.
+
+        The base implementation goes through :meth:`items` and therefore
+        loses versions and TTLs (they restore as fresh version-1 immortal
+        entries); concrete stores override it with an exact capture.
+        """
+        return [
+            EntrySnapshot(key, value, 1, None) for key, value in self.items()
+        ]
+
+    def restore_entries(self, entries: Iterable[EntrySnapshot]) -> int:
+        """Load snapshot entries into this store; return how many.
+
+        The base implementation writes through :meth:`put`, so restored
+        entries get new versions; exact stores override it to reinstate
+        versions and absolute expiries.
+        """
+        count = 0
+        for entry in entries:
+            self.put(entry.key, entry.value)
+            count += 1
+        return count
 
 
 class InMemoryKVStore(KVStore):
@@ -220,3 +261,26 @@ class InMemoryKVStore(KVStore):
         """Remove every entry (used between benchmark rounds)."""
         with self._lock:
             self._data.clear()
+
+    # -- checkpoint support ------------------------------------------------
+
+    def snapshot_entries(self) -> list[EntrySnapshot]:
+        """Exact capture: live entries with their versions and expiries."""
+        with self._lock:
+            now = self._clock.now()
+            return [
+                EntrySnapshot(key, entry.value, entry.version, entry.expires_at)
+                for key, entry in self._data.items()
+                if entry.expires_at is None or now < entry.expires_at
+            ]
+
+    def restore_entries(self, entries: Iterable[EntrySnapshot]) -> int:
+        """Exact restore: reinstate versions and absolute expiries."""
+        count = 0
+        with self._lock:
+            for entry in entries:
+                self._data[entry.key] = _Entry(
+                    entry.value, entry.version, entry.expires_at
+                )
+                count += 1
+        return count

@@ -1,0 +1,41 @@
+"""Fault tolerance: checkpoints, WAL replay, fault injection, supervision.
+
+The paper's production deployment leans on Storm's fault tolerance — failed
+tuples are replayed, and the model state in external KV storage survives
+worker crashes (§5.1-5.2).  This package rebuilds that guarantee for the
+in-process substrate:
+
+* :mod:`~repro.reliability.checkpoint` — atomic, versioned on-disk
+  snapshots of the whole KV store;
+* :mod:`~repro.reliability.wal` — a segment-rotated write-ahead log of
+  user actions;
+* :mod:`~repro.reliability.replay` — crash recovery = restore last
+  checkpoint + replay the WAL tail (at-least-once);
+* :mod:`~repro.reliability.supervisor` — bounded worker restarts with
+  exponential backoff, honoured by both executors;
+* :mod:`~repro.reliability.faults` — seeded, deterministic chaos: worker
+  crashes, tuple drops/duplicates, transient KV errors.
+
+Recovery semantics are documented in DESIGN.md ("Fault-tolerance
+subsystem"); the chaos/recovery test suite lives in ``tests/reliability``.
+"""
+
+from .checkpoint import CheckpointInfo, CheckpointManager
+from .faults import ChaosBolt, FaultPlan, FlakyKVStore, wrap_topology
+from .replay import RecoveryManager, RecoveryReport
+from .supervisor import RetryPolicy, Supervisor
+from .wal import ActionWAL
+
+__all__ = [
+    "CheckpointManager",
+    "CheckpointInfo",
+    "ActionWAL",
+    "RecoveryManager",
+    "RecoveryReport",
+    "RetryPolicy",
+    "Supervisor",
+    "FaultPlan",
+    "ChaosBolt",
+    "FlakyKVStore",
+    "wrap_topology",
+]

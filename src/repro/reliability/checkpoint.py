@@ -1,0 +1,226 @@
+"""Atomic on-disk checkpoints of KV-store state.
+
+The paper's production system survives worker crashes because Storm replays
+unacked tuples and the model state lives in external storage (§5.1-5.2).
+This module provides the durable half of that story for this repo's
+in-process KV store: a :class:`CheckpointManager` snapshots every live
+entry — MF vectors, biases, the ``mu`` accumulator, user histories,
+similar-video tables — into a versioned directory and restores it into a
+fresh store.
+
+On-disk layout (all under the manager's root directory)::
+
+    ckpt-00000001/
+        entries.pkl     # pickled list of EntrySnapshot records
+        manifest.json   # id, wal_seq, entry count, sha256 of entries.pkl
+    ckpt-00000002/
+        ...
+
+A checkpoint is *atomic by construction*: entries are written into a
+``tmp-*`` staging directory, the manifest (with a checksum over the entry
+payload) is written last, and only then is the directory renamed to its
+final ``ckpt-*`` name.  A crash mid-write leaves a ``tmp-*`` directory that
+restore ignores; a manifest whose checksum does not match its payload is
+rejected with :class:`~repro.errors.CheckpointError`.
+
+Values are serialised with :mod:`pickle` — checkpoints are trusted local
+state written and read by the same process family, and the stored values
+(numpy arrays, tuples, dicts) have no stable text encoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import CheckpointError
+from ..kvstore import EntrySnapshot, KVStore
+
+_PREFIX = "ckpt-"
+_TMP_PREFIX = "tmp-"
+_ENTRIES_FILE = "entries.pkl"
+_MANIFEST_FILE = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointInfo:
+    """Manifest of one completed checkpoint."""
+
+    checkpoint_id: int
+    path: str
+    wal_seq: int
+    n_entries: int
+    created_at: float
+
+    @property
+    def name(self) -> str:
+        return f"{_PREFIX}{self.checkpoint_id:08d}"
+
+
+class CheckpointManager:
+    """Writes, lists, restores, and prunes checkpoints under one root.
+
+    ``retain`` bounds how many completed checkpoints are kept; older ones
+    are pruned after each successful :meth:`create`.  ``fsync=False`` skips
+    the per-file fsync (faster, used by tests); the rename-after-manifest
+    protocol still guarantees no torn checkpoint is ever restored.
+    """
+
+    def __init__(
+        self, root: str | os.PathLike, retain: int = 3, fsync: bool = True
+    ) -> None:
+        if retain < 1:
+            raise ValueError(f"retain must be >= 1, got {retain}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.retain = retain
+        self.fsync = fsync
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def create(
+        self, store: KVStore, wal_seq: int = 0, created_at: float = 0.0
+    ) -> CheckpointInfo:
+        """Snapshot ``store`` as the next checkpoint; return its manifest.
+
+        ``wal_seq`` records the last WAL sequence number already reflected
+        in the snapshot, so recovery knows where replay must resume.
+        """
+        checkpoint_id = self._next_id()
+        entries = store.snapshot_entries()
+        payload = pickle.dumps(entries, protocol=pickle.HIGHEST_PROTOCOL)
+
+        staging = self.root / f"{_TMP_PREFIX}{checkpoint_id:08d}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        try:
+            self._write_file(staging / _ENTRIES_FILE, payload)
+            manifest = {
+                "format": _FORMAT_VERSION,
+                "checkpoint_id": checkpoint_id,
+                "wal_seq": wal_seq,
+                "n_entries": len(entries),
+                "created_at": created_at,
+                "sha256": hashlib.sha256(payload).hexdigest(),
+            }
+            self._write_file(
+                staging / _MANIFEST_FILE,
+                json.dumps(manifest, indent=2).encode("utf-8"),
+            )
+            final = self.root / f"{_PREFIX}{checkpoint_id:08d}"
+            os.rename(staging, final)
+        except OSError as exc:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise CheckpointError(f"failed to write checkpoint: {exc}") from exc
+        self._prune()
+        return CheckpointInfo(
+            checkpoint_id=checkpoint_id,
+            path=str(final),
+            wal_seq=wal_seq,
+            n_entries=len(entries),
+            created_at=created_at,
+        )
+
+    def _write_file(self, path: Path, data: bytes) -> None:
+        with open(path, "wb") as handle:
+            handle.write(data)
+            if self.fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    # Listing
+    # ------------------------------------------------------------------
+
+    def list(self) -> list[CheckpointInfo]:
+        """Completed checkpoints, oldest first.  Torn ``tmp-*`` directories
+        and directories without a manifest are skipped silently."""
+        infos: list[CheckpointInfo] = []
+        for path in sorted(self.root.iterdir()):
+            if not path.is_dir() or not path.name.startswith(_PREFIX):
+                continue
+            manifest_path = path / _MANIFEST_FILE
+            if not manifest_path.exists():
+                continue
+            try:
+                manifest = json.loads(manifest_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            infos.append(
+                CheckpointInfo(
+                    checkpoint_id=int(manifest["checkpoint_id"]),
+                    path=str(path),
+                    wal_seq=int(manifest["wal_seq"]),
+                    n_entries=int(manifest["n_entries"]),
+                    created_at=float(manifest["created_at"]),
+                )
+            )
+        infos.sort(key=lambda info: info.checkpoint_id)
+        return infos
+
+    def latest(self) -> CheckpointInfo | None:
+        """The most recent completed checkpoint, or ``None``."""
+        infos = self.list()
+        return infos[-1] if infos else None
+
+    def _next_id(self) -> int:
+        existing = [info.checkpoint_id for info in self.list()]
+        return (max(existing) + 1) if existing else 1
+
+    # ------------------------------------------------------------------
+    # Restoring
+    # ------------------------------------------------------------------
+
+    def restore(self, info: CheckpointInfo, store: KVStore) -> int:
+        """Load checkpoint ``info`` into ``store``; return entries loaded.
+
+        Verifies the payload checksum against the manifest before touching
+        the store, so a corrupt checkpoint never half-loads.
+        """
+        path = Path(info.path)
+        manifest_path = path / _MANIFEST_FILE
+        entries_path = path / _ENTRIES_FILE
+        try:
+            manifest = json.loads(manifest_path.read_text())
+            payload = entries_path.read_bytes()
+        except OSError as exc:
+            raise CheckpointError(
+                f"checkpoint {info.name} unreadable: {exc}"
+            ) from exc
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != manifest["sha256"]:
+            raise CheckpointError(
+                f"checkpoint {info.name} corrupt: checksum mismatch"
+            )
+        entries: list[EntrySnapshot] = pickle.loads(payload)
+        return store.restore_entries(entries)
+
+    def restore_latest(self, store: KVStore) -> CheckpointInfo | None:
+        """Restore the newest checkpoint into ``store``.
+
+        Returns its manifest, or ``None`` when no checkpoint exists (the
+        caller then recovers from the WAL alone).
+        """
+        info = self.latest()
+        if info is None:
+            return None
+        self.restore(info, store)
+        return info
+
+    # ------------------------------------------------------------------
+    # Pruning
+    # ------------------------------------------------------------------
+
+    def _prune(self) -> None:
+        infos = self.list()
+        for info in infos[: max(0, len(infos) - self.retain)]:
+            shutil.rmtree(info.path, ignore_errors=True)

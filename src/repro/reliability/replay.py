@@ -1,0 +1,90 @@
+"""Crash recovery: restore the last checkpoint, replay the WAL tail.
+
+Recovery semantics are **at-least-once relative to the log**: every action
+is WAL-appended before it mutates model state, so after a crash the
+restored store misses at most the actions logged after the last checkpoint
+— and exactly those are replayed.  An action whose crash interrupted its
+(non-atomic) application is replayed in full against the *checkpoint*
+state, so no partial update survives; re-applying an action that was also
+partially applied before the checkpointed state was captured cannot happen
+because checkpoints are only taken between actions.
+
+What recovery restores is everything that lives in the checkpointed KV
+store: MF vectors and biases, the ``mu`` accumulator, user histories, and
+similar-video tables.  State held outside the store (in-memory trainer
+counters, metrics) restarts from zero — it is observability, not model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..data.schema import UserAction
+from ..kvstore import KVStore
+from .checkpoint import CheckpointInfo, CheckpointManager
+from .wal import ActionWAL
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryReport:
+    """What one :meth:`RecoveryManager.recover` call did."""
+
+    checkpoint: CheckpointInfo | None
+    replayed: int
+    last_seq: int
+
+    @property
+    def from_scratch(self) -> bool:
+        return self.checkpoint is None
+
+
+class RecoveryManager:
+    """Couples a :class:`CheckpointManager` with an :class:`ActionWAL`.
+
+    One instance per durable root; the same object serves both the running
+    system (periodic :meth:`checkpoint` calls) and the post-crash restart
+    (:meth:`recover` into a fresh store).
+    """
+
+    def __init__(self, checkpoints: CheckpointManager, wal: ActionWAL) -> None:
+        self.checkpoints = checkpoints
+        self.wal = wal
+
+    def checkpoint(
+        self, store: KVStore, created_at: float = 0.0
+    ) -> CheckpointInfo:
+        """Snapshot ``store`` tagged with the WAL's current position.
+
+        Call between actions (never mid-action): the snapshot must be a
+        consistent cut of the store that corresponds exactly to "all
+        actions up to ``wal.last_seq`` applied".
+        """
+        return self.checkpoints.create(
+            store, wal_seq=self.wal.last_seq, created_at=created_at
+        )
+
+    def recover(
+        self,
+        store: KVStore,
+        apply: Callable[[UserAction], object],
+    ) -> RecoveryReport:
+        """Rebuild state into ``store``; return what happened.
+
+        ``apply`` re-feeds one logged action through the model — typically
+        ``OnlineTrainer.process`` or ``RealtimeRecommender.observe``.  The
+        WAL is suspended for the duration so an ``apply`` that itself logs
+        to this WAL does not duplicate records.
+        """
+        info = self.checkpoints.restore_latest(store)
+        after_seq = info.wal_seq if info is not None else 0
+        replayed = 0
+        last_seq = after_seq
+        with self.wal.suspend():
+            for seq, action in self.wal.replay(after_seq=after_seq):
+                apply(action)
+                replayed += 1
+                last_seq = seq
+        return RecoveryReport(
+            checkpoint=info, replayed=replayed, last_seq=last_seq
+        )

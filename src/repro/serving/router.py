@@ -51,12 +51,18 @@ class RecRequest:
 
 @dataclass(frozen=True, slots=True)
 class RecResponse:
-    """The served list plus bookkeeping."""
+    """The served list plus bookkeeping.
+
+    ``degraded=True`` marks a response produced by the fallback
+    recommender after the primary failed — still a success (``ok``), but
+    observable in per-scenario metrics.
+    """
 
     request: RecRequest
     video_ids: tuple[str, ...]
     latency_seconds: float
     error: str | None = None
+    degraded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -74,6 +80,7 @@ class ScenarioStats:
     requests: int = 0
     errors: int = 0
     empty: int = 0
+    fallbacks: int = 0
     latency: LatencyStats = field(default_factory=LatencyStats)
 
 
@@ -85,29 +92,52 @@ class RequestRouter:
     isolation.  Multiple threads may call :meth:`handle` concurrently —
     the per-scenario counters are lock-protected, and the state the
     recommender reads lives in the (locked) KV store.
+
+    ``fallback`` (any object with the same ``recommend_ids`` signature,
+    e.g. :class:`~repro.baselines.HotRecommender`) enables graceful
+    degradation: when the primary recommender raises — say the model store
+    is erroring — the request is re-served from the fallback and counted
+    in the scenario's ``fallbacks`` metric, instead of returning an empty
+    error response.  Only when the fallback also fails (or none is
+    configured) does the response carry an error.
     """
 
-    def __init__(self, recommender) -> None:
+    def __init__(self, recommender, fallback=None) -> None:
         self.recommender = recommender
+        self.fallback = fallback
         self._stats = {scenario: ScenarioStats() for scenario in Scenario}
         self._lock = threading.Lock()
+
+    def _serve(self, backend, request: RecRequest) -> tuple[str, ...]:
+        return tuple(
+            backend.recommend_ids(
+                request.user_id,
+                current_video=request.current_video,
+                n=request.n,
+                now=request.timestamp,
+            )
+        )
 
     def handle(self, request: RecRequest) -> RecResponse:
         """Serve one request; never raises."""
         started = time.perf_counter()
         error: str | None = None
+        degraded = False
         videos: tuple[str, ...] = ()
         try:
-            videos = tuple(
-                self.recommender.recommend_ids(
-                    request.user_id,
-                    current_video=request.current_video,
-                    n=request.n,
-                    now=request.timestamp,
-                )
-            )
+            videos = self._serve(self.recommender, request)
         except Exception as exc:  # noqa: BLE001 - service isolation boundary
             error = f"{type(exc).__name__}: {exc}"
+            if self.fallback is not None:
+                try:
+                    videos = self._serve(self.fallback, request)
+                    error = None
+                    degraded = True
+                except Exception as fb_exc:  # noqa: BLE001 - same boundary
+                    error = (
+                        f"{error}; fallback failed: "
+                        f"{type(fb_exc).__name__}: {fb_exc}"
+                    )
         elapsed = time.perf_counter() - started
 
         stats = self._stats[request.scenario]
@@ -116,13 +146,17 @@ class RequestRouter:
             stats.latency.record(elapsed)
             if error is not None:
                 stats.errors += 1
-            elif not videos:
-                stats.empty += 1
+            else:
+                if degraded:
+                    stats.fallbacks += 1
+                if not videos:
+                    stats.empty += 1
         return RecResponse(
             request=request,
             video_ids=videos,
             latency_seconds=elapsed,
             error=error,
+            degraded=degraded,
         )
 
     def stats(self, scenario: Scenario) -> ScenarioStats:
@@ -137,6 +171,7 @@ class RequestRouter:
                     "requests": stats.requests,
                     "errors": stats.errors,
                     "empty": stats.empty,
+                    "fallbacks": stats.fallbacks,
                     "mean_latency_ms": stats.latency.mean * 1000.0,
                     "max_latency_ms": stats.latency.max * 1000.0,
                 }

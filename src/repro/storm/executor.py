@@ -14,6 +14,14 @@ model:
 Both honour grouping semantics identically: a tuple emitted on
 ``(source, stream)`` is delivered to every subscribed bolt, to the worker(s)
 chosen by that edge's grouping.
+
+Both executors optionally run under a
+:class:`~repro.reliability.Supervisor`: when a bolt raises, the failed
+worker is torn down, recreated from its component factory, and the same
+tuple is retried — bounded restarts with backoff, so topologies survive
+transient faults without losing delivered tuples.  Only when the restart
+budget is exhausted does the executor fall back to its configured failure
+mode (``fail_fast`` abort, or drop the tuple).
 """
 
 from __future__ import annotations
@@ -23,11 +31,15 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..errors import ComponentError
 from .metrics import TopologyMetrics
 from .topology import Bolt, Collector, ComponentContext, Spout, Topology
 from .tuples import StreamTuple
+
+if TYPE_CHECKING:  # imported lazily to avoid a storm <-> reliability cycle
+    from ..reliability.supervisor import Supervisor
 
 _POLL_INTERVAL = 0.001
 
@@ -44,9 +56,15 @@ class _Delivery:
 class _ExecutorBase:
     """Shared wiring: instantiate workers, route emissions, run hooks."""
 
-    def __init__(self, topology: Topology, fail_fast: bool = True) -> None:
+    def __init__(
+        self,
+        topology: Topology,
+        fail_fast: bool = True,
+        supervisor: "Supervisor | None" = None,
+    ) -> None:
         self.topology = topology
         self.fail_fast = fail_fast
+        self.supervisor = supervisor
         self.metrics = TopologyMetrics()
         self._spout_workers: list[tuple[str, int, Spout]] = []
         self._bolt_workers: dict[tuple[str, int], Bolt] = {}
@@ -83,19 +101,46 @@ class _ExecutorBase:
                 deliveries.append(_Delivery(target, worker, tup))
         return deliveries
 
-    def _process_one(self, delivery: _Delivery) -> list[_Delivery]:
-        """Run one bolt invocation; return the downstream deliveries."""
-        bolt = self._bolt_workers[(delivery.target, delivery.worker)]
-        collector = Collector()
-        component = self.metrics.component(delivery.target)
-        started = time.perf_counter()
+    def _restart_bolt(self, name: str, worker: int) -> Bolt:
+        """Replace one failed bolt worker with a fresh factory instance."""
+        old = self._bolt_workers[(name, worker)]
         try:
-            bolt.process(delivery.tup, collector)
-        except Exception as exc:  # noqa: BLE001 - component isolation boundary
-            component.record_failure()
-            if self.fail_fast:
-                raise ComponentError(delivery.target, exc) from exc
-            return []
+            old.cleanup()
+        except Exception:  # noqa: BLE001 - the worker is already broken
+            pass
+        spec = self.topology.components[name]
+        bolt = spec.factory()
+        bolt.prepare(ComponentContext(name, worker, spec.parallelism))
+        self._bolt_workers[(name, worker)] = bolt
+        self.metrics.component(name).record_restart()
+        return bolt
+
+    def _process_one(self, delivery: _Delivery) -> list[_Delivery]:
+        """Run one bolt invocation; return the downstream deliveries.
+
+        Under a supervisor, a failing worker is restarted and the tuple is
+        retried until it succeeds or the worker's restart budget runs out —
+        at-least-once execution of the bolt body.  Each attempt gets a
+        fresh collector, so emissions from a failed attempt are discarded.
+        """
+        bolt = self._bolt_workers[(delivery.target, delivery.worker)]
+        component = self.metrics.component(delivery.target)
+        while True:
+            collector = Collector()
+            started = time.perf_counter()
+            try:
+                bolt.process(delivery.tup, collector)
+                break
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                component.record_failure()
+                if self.supervisor is not None and self.supervisor.should_restart(
+                    delivery.target, delivery.worker, exc
+                ):
+                    bolt = self._restart_bolt(delivery.target, delivery.worker)
+                    continue
+                if self.fail_fast:
+                    raise ComponentError(delivery.target, exc) from exc
+                return []
         component.record_processed(delivery.worker, time.perf_counter() - started)
         out: list[_Delivery] = []
         for emitted in collector.drain():
@@ -155,8 +200,9 @@ class ThreadedExecutor(_ExecutorBase):
         topology: Topology,
         fail_fast: bool = True,
         queue_size: int = 10_000,
+        supervisor: "Supervisor | None" = None,
     ) -> None:
-        super().__init__(topology, fail_fast=fail_fast)
+        super().__init__(topology, fail_fast=fail_fast, supervisor=supervisor)
         self._queue_size = queue_size
         self._queues: dict[tuple[str, int], queue.Queue] = {}
         self._inflight = 0

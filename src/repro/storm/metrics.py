@@ -39,6 +39,7 @@ class ComponentMetrics:
     emitted: int = 0
     processed: int = 0
     failed: int = 0
+    restarts: int = 0
     latency: LatencyStats = field(default_factory=LatencyStats)
     per_worker_processed: dict[int, int] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -58,6 +59,10 @@ class ComponentMetrics:
     def record_failure(self) -> None:
         with self._lock:
             self.failed += 1
+
+    def record_restart(self) -> None:
+        with self._lock:
+            self.restarts += 1
 
 
 class TopologyMetrics:
@@ -83,6 +88,7 @@ class TopologyMetrics:
                 "emitted": metrics.emitted,
                 "processed": metrics.processed,
                 "failed": metrics.failed,
+                "restarts": metrics.restarts,
                 "mean_latency_s": metrics.latency.mean,
                 "max_latency_s": metrics.latency.max,
             }

@@ -1,0 +1,134 @@
+"""Checkpoint tests: atomic snapshots round-trip exactly."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.clock import VirtualClock
+from repro.errors import CheckpointError
+from repro.kvstore import InMemoryKVStore, Namespace, ShardedKVStore
+from repro.reliability import CheckpointManager
+
+
+def _manager(tmp_path, **kwargs):
+    kwargs.setdefault("fsync", False)
+    return CheckpointManager(tmp_path / "ckpt", **kwargs)
+
+
+class TestRoundTrip:
+    def test_values_versions_and_namespaces_survive(self, tmp_path):
+        store = ShardedKVStore(n_shards=4)
+        ns = Namespace(store, "mf:x")
+        ns.put("u1", np.arange(4.0))
+        ns.put("u1", np.arange(4.0) * 2)  # version 2
+        store.put(("history", "u2"), [("v1", 1.0), ("v2", 2.0)])
+        store.put("mu", (12.5, 7))
+
+        manager = _manager(tmp_path)
+        info = manager.create(store, wal_seq=41)
+        assert info.n_entries == 3
+        assert info.wal_seq == 41
+
+        restored = ShardedKVStore(n_shards=4)
+        assert manager.restore_latest(restored).checkpoint_id == 1
+        np.testing.assert_array_equal(
+            Namespace(restored, "mf:x").get("u1"), np.arange(4.0) * 2
+        )
+        assert Namespace(restored, "mf:x").version("u1") == 2
+        assert restored.get(("history", "u2")) == [("v1", 1.0), ("v2", 2.0)]
+        assert restored.get("mu") == (12.5, 7)
+        assert len(restored) == 3
+
+    def test_restore_across_different_shard_counts(self, tmp_path):
+        store = ShardedKVStore(n_shards=2)
+        for i in range(50):
+            store.put(f"k{i}", i)
+        manager = _manager(tmp_path)
+        manager.create(store)
+
+        restored = ShardedKVStore(n_shards=8)
+        manager.restore_latest(restored)
+        assert {restored.get(f"k{i}") for i in range(50)} == set(range(50))
+        # Every entry landed on the shard that owns its key.
+        for i in range(50):
+            assert f"k{i}" in restored.shard_for(f"k{i}")
+
+    def test_ttl_entries_keep_absolute_expiry(self, tmp_path):
+        clock = VirtualClock()
+        clock.set(100.0)
+        store = InMemoryKVStore(clock=clock)
+        store.put("ephemeral", "x", ttl=50.0)
+        store.put("durable", "y")
+        manager = _manager(tmp_path)
+        manager.create(store)
+
+        restored = InMemoryKVStore(clock=clock)
+        manager.restore_latest(restored)
+        assert restored.get("ephemeral") == "x"
+        clock.set(200.0)  # past the 150.0 absolute expiry
+        assert restored.get("ephemeral") is None
+        assert restored.get("durable") == "y"
+
+    def test_expired_entries_not_captured(self, tmp_path):
+        clock = VirtualClock()
+        clock.set(0.0)
+        store = InMemoryKVStore(clock=clock)
+        store.put("gone", 1, ttl=1.0)
+        clock.set(10.0)
+        manager = _manager(tmp_path)
+        info = manager.create(store)
+        assert info.n_entries == 0
+
+
+class TestAtomicityAndRetention:
+    def test_empty_root_restores_nothing(self, tmp_path):
+        manager = _manager(tmp_path)
+        assert manager.latest() is None
+        assert manager.restore_latest(InMemoryKVStore()) is None
+
+    def test_torn_staging_directory_is_ignored(self, tmp_path):
+        manager = _manager(tmp_path)
+        store = InMemoryKVStore()
+        store.put("k", 1)
+        manager.create(store)
+        # Simulate a crash mid-write: staging dir with entries but no
+        # manifest, never renamed.
+        torn = manager.root / "tmp-00000099"
+        torn.mkdir()
+        (torn / "entries.pkl").write_bytes(b"garbage")
+        assert [info.checkpoint_id for info in manager.list()] == [1]
+
+    def test_checksum_mismatch_refuses_restore(self, tmp_path):
+        manager = _manager(tmp_path)
+        store = InMemoryKVStore()
+        store.put("k", 1)
+        info = manager.create(store)
+        entries = Path(info.path) / "entries.pkl"
+        entries.write_bytes(entries.read_bytes() + b"x")
+        with pytest.raises(CheckpointError, match="checksum"):
+            manager.restore(info, InMemoryKVStore())
+
+    def test_manifest_records_payload_hash(self, tmp_path):
+        manager = _manager(tmp_path)
+        store = InMemoryKVStore()
+        store.put("k", "v")
+        info = manager.create(store, wal_seq=9)
+        manifest = json.loads((Path(info.path) / "manifest.json").read_text())
+        assert manifest["wal_seq"] == 9
+        assert manifest["n_entries"] == 1
+        assert len(manifest["sha256"]) == 64
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        manager = _manager(tmp_path, retain=2)
+        store = InMemoryKVStore()
+        for i in range(4):
+            store.put("k", i)
+            manager.create(store)
+        ids = [info.checkpoint_id for info in manager.list()]
+        assert ids == [3, 4]
+        # Latest still restores the newest value.
+        restored = InMemoryKVStore()
+        manager.restore_latest(restored)
+        assert restored.get("k") == 3

@@ -1,0 +1,242 @@
+"""End-to-end reliability: kill-and-recover, chaos runs, degraded serving.
+
+The acceptance bar for the subsystem:
+
+* a recommender crashed mid-stream and recovered from checkpoint + WAL
+  replay serves the *same top-N* as an uninterrupted run;
+* a topology run under injected worker crashes and transient KV errors
+  loses zero acked tuples;
+* when the model store errors at serve time the router falls back to the
+  hot-videos baseline, observably in its metrics.
+"""
+
+import pytest
+
+from repro.baselines import HotRecommender
+from repro.core.recommender import RealtimeRecommender
+from repro.kvstore import InMemoryKVStore, ShardedKVStore
+from repro.reliability import (
+    ActionWAL,
+    CheckpointManager,
+    FaultPlan,
+    FlakyKVStore,
+    RecoveryManager,
+    RetryPolicy,
+    Supervisor,
+    wrap_topology,
+)
+from repro.serving.router import RecRequest, RequestRouter, Scenario
+from repro.storm import LocalExecutor
+from repro.topology.pipeline import (
+    COMPUTE_MF,
+    GET_ITEM_PAIRS,
+    ITEM_PAIR_SIM,
+    MF_STORAGE,
+    RESULT_STORAGE,
+    SPOUT,
+    USER_HISTORY,
+    build_recommendation_topology,
+)
+
+N_TOTAL = 240  # actions in the run
+N_CHECKPOINT = 150  # checkpoint taken after this many
+N_CRASH = 220  # "power loss" after this many
+
+
+def _recommender(world, store, wal=None):
+    return RealtimeRecommender(
+        world.videos,
+        enable_demographic=False,  # demographic state is not KV-backed
+        store=store,
+        wal=wal,
+    )
+
+
+def _sample_users(actions, k=8):
+    seen = []
+    for action in actions:
+        if action.user_id not in seen:
+            seen.append(action.user_id)
+        if len(seen) == k:
+            break
+    return seen
+
+
+class TestKillAndRecover:
+    @pytest.fixture()
+    def stream(self, small_actions):
+        return small_actions[:N_TOTAL]
+
+    def test_recovered_model_matches_uninterrupted_run(
+        self, small_world, stream, tmp_path
+    ):
+        # Reference: one uninterrupted pass over the whole stream.
+        rec_a = _recommender(small_world, ShardedKVStore(n_shards=4))
+        rec_a.observe_stream(stream)
+
+        # Crashing run: WAL everything, checkpoint part-way, then "lose"
+        # the process after N_CRASH actions (the store simply goes away).
+        wal = ActionWAL(tmp_path / "wal", segment_max_records=64)
+        recovery = RecoveryManager(
+            CheckpointManager(tmp_path / "ckpt", fsync=False), wal
+        )
+        store_b = ShardedKVStore(n_shards=4)
+        rec_b = _recommender(small_world, store_b, wal=wal)
+        rec_b.observe_stream(stream[:N_CHECKPOINT])
+        recovery.checkpoint(store_b)
+        rec_b.observe_stream(stream[N_CHECKPOINT:N_CRASH])
+        del rec_b  # crash: in-memory state is gone, disk survives
+
+        # Recover into a brand-new store and recommender, replaying only
+        # the WAL suffix past the checkpoint, then finish the stream.
+        store_c = ShardedKVStore(n_shards=4)
+        rec_c = _recommender(small_world, store_c, wal=wal)
+        report = recovery.recover(store_c, rec_c.observe)
+        assert not report.from_scratch
+        assert report.checkpoint.wal_seq == N_CHECKPOINT
+        assert report.replayed == N_CRASH - N_CHECKPOINT
+        assert wal.last_seq == N_CRASH  # replay did not re-log
+        rec_c.observe_stream(stream[N_CRASH:])
+        assert wal.last_seq == N_TOTAL
+
+        now = stream[-1].timestamp + 60.0
+        for user in _sample_users(stream):
+            assert rec_c.recommend_ids(user, n=10, now=now) == (
+                rec_a.recommend_ids(user, n=10, now=now)
+            ), f"recovered top-N diverged for {user}"
+
+    def test_recovery_from_wal_alone(self, small_world, stream, tmp_path):
+        """No checkpoint ever taken: the whole WAL replays from scratch."""
+        wal = ActionWAL(tmp_path / "wal")
+        recovery = RecoveryManager(
+            CheckpointManager(tmp_path / "ckpt", fsync=False), wal
+        )
+        rec = _recommender(small_world, ShardedKVStore(n_shards=2), wal=wal)
+        rec.observe_stream(stream[:100])
+        del rec
+
+        rec_a = _recommender(small_world, ShardedKVStore(n_shards=2))
+        rec_a.observe_stream(stream[:100])
+
+        store = ShardedKVStore(n_shards=2)
+        rec_b = _recommender(small_world, store, wal=wal)
+        report = recovery.recover(store, rec_b.observe)
+        assert report.from_scratch
+        assert report.replayed == 100
+
+        now = stream[99].timestamp + 60.0
+        for user in _sample_users(stream[:100], k=5):
+            assert rec_b.recommend_ids(user, n=10, now=now) == (
+                rec_a.recommend_ids(user, n=10, now=now)
+            )
+
+    def test_recovery_is_repeatable(self, small_world, stream, tmp_path):
+        """Replay is deterministic: two recoveries agree with each other."""
+        wal = ActionWAL(tmp_path / "wal")
+        recovery = RecoveryManager(
+            CheckpointManager(tmp_path / "ckpt", fsync=False), wal
+        )
+        store = ShardedKVStore(n_shards=2)
+        rec = _recommender(small_world, store, wal=wal)
+        rec.observe_stream(stream[:80])
+        recovery.checkpoint(store)
+        rec.observe_stream(stream[80:120])
+        del rec
+
+        recovered = []
+        for _ in range(2):
+            store = ShardedKVStore(n_shards=2)
+            twin = _recommender(small_world, store, wal=wal)
+            report = recovery.recover(store, twin.observe)
+            assert report.replayed == 40
+            recovered.append(twin)
+        now = stream[119].timestamp + 60.0
+        for user in _sample_users(stream[:120], k=5):
+            assert recovered[0].recommend_ids(user, n=10, now=now) == (
+                recovered[1].recommend_ids(user, n=10, now=now)
+            )
+
+
+class TestChaosTopology:
+    def test_no_acked_tuples_lost_under_crashes_and_kv_errors(
+        self, small_world, small_actions
+    ):
+        stream = small_actions[:200]
+        flaky_store = FlakyKVStore(
+            ShardedKVStore(n_shards=4), error_every=97
+        )
+        topology, system = build_recommendation_topology(
+            list(stream), small_world.videos, store=flaky_store
+        )
+        chaotic = wrap_topology(
+            topology,
+            FaultPlan(
+                seed=3, crash_every={USER_HISTORY: 31, ITEM_PAIR_SIM: 17}
+            ),
+        )
+        supervisor = Supervisor(
+            RetryPolicy(max_restarts=10_000, backoff_base=0.0),
+            sleep=lambda s: None,
+        )
+        metrics = LocalExecutor(chaotic, supervisor=supervisor).run()
+        snap = metrics.snapshot()
+
+        # Every action the spout emitted was processed by each of the
+        # three bolts fed straight from it — zero lost acked tuples.
+        assert snap[SPOUT]["emitted"] == len(stream)
+        for bolt in (USER_HISTORY, COMPUTE_MF, GET_ITEM_PAIRS):
+            assert snap[bolt]["processed"] == len(stream), bolt
+        # Downstream stages processed exactly what their upstream emitted.
+        assert snap[MF_STORAGE]["processed"] == snap[COMPUTE_MF]["emitted"]
+        assert snap[ITEM_PAIR_SIM]["processed"] == (
+            snap[GET_ITEM_PAIRS]["emitted"]
+        )
+        assert snap[RESULT_STORAGE]["processed"] == (
+            snap[ITEM_PAIR_SIM]["emitted"]
+        )
+
+        # The chaos actually happened.
+        assert supervisor.restarts() > 0
+        assert snap[USER_HISTORY]["restarts"] > 0
+        assert snap[ITEM_PAIR_SIM]["restarts"] > 0
+        assert flaky_store.errors_raised > 0
+        # The learned state is intact enough to serve.
+        flaky_store.error_every = 0
+        serving = system.serving_recommender()
+        user = stream[0].user_id
+        assert serving.recommend_ids(
+            user, n=5, now=stream[-1].timestamp + 60.0
+        )
+
+
+class TestDegradedServing:
+    def test_router_falls_back_to_hot_videos_on_store_errors(
+        self, small_world, small_actions
+    ):
+        stream = small_actions[:300]
+        flaky = FlakyKVStore(InMemoryKVStore())
+        primary = _recommender(small_world, flaky)
+        hot = HotRecommender()
+        for action in stream:
+            primary.observe(action)
+            hot.observe(action)
+        router = RequestRouter(primary, fallback=hot)
+        user = stream[0].user_id
+        now = stream[-1].timestamp + 60.0
+
+        # Healthy store: the primary serves.
+        healthy = router.handle(RecRequest(user, n=5, timestamp=now))
+        assert healthy.ok and not healthy.degraded
+
+        # Model store starts erroring: requests degrade to HotVideos but
+        # still succeed, and the fallback is visible in the metrics.
+        flaky.fail_next(10_000)
+        for _ in range(3):
+            response = router.handle(RecRequest(user, n=5, timestamp=now))
+            assert response.ok
+            assert response.degraded
+            assert response.video_ids  # the hot list is non-empty
+        snap = router.snapshot()[Scenario.GUESS_YOU_LIKE.value]
+        assert snap["requests"] == 4
+        assert snap["fallbacks"] == 3
+        assert snap["errors"] == 0

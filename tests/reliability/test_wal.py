@@ -1,0 +1,123 @@
+"""Write-ahead-log tests: rotation, replay positioning, torn tails."""
+
+import pytest
+
+from repro.data.schema import ActionType, UserAction
+from repro.errors import WALError
+from repro.reliability import ActionWAL
+
+
+def _action(i: int) -> UserAction:
+    return UserAction(
+        timestamp=float(i),
+        user_id=f"u{i % 7}",
+        video_id=f"v{i % 13}",
+        action=ActionType.CLICK,
+    )
+
+
+class TestAppendReplay:
+    def test_sequences_are_contiguous_from_one(self, tmp_path):
+        wal = ActionWAL(tmp_path)
+        seqs = [wal.append(_action(i)) for i in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+        assert wal.last_seq == 5
+
+    def test_replay_returns_actions_in_order(self, tmp_path):
+        wal = ActionWAL(tmp_path)
+        originals = [_action(i) for i in range(20)]
+        for action in originals:
+            wal.append(action)
+        replayed = list(wal.replay())
+        assert [seq for seq, _ in replayed] == list(range(1, 21))
+        assert [a for _, a in replayed] == originals
+
+    def test_replay_after_seq_skips_prefix(self, tmp_path):
+        wal = ActionWAL(tmp_path)
+        for i in range(10):
+            wal.append(_action(i))
+        assert [seq for seq, _ in wal.replay(after_seq=7)] == [8, 9, 10]
+
+    def test_suspend_makes_append_a_noop(self, tmp_path):
+        wal = ActionWAL(tmp_path)
+        wal.append(_action(0))
+        with wal.suspend():
+            assert wal.append(_action(1)) == 1
+        assert wal.last_seq == 1
+        assert len(list(wal.replay())) == 1
+
+
+class TestSegmentRotation:
+    def test_rotates_at_max_records(self, tmp_path):
+        wal = ActionWAL(tmp_path, segment_max_records=4)
+        for i in range(10):
+            wal.append(_action(i))
+        names = [path.name for path in wal.segments()]
+        assert names == [
+            "wal-000000000001.log",
+            "wal-000000000005.log",
+            "wal-000000000009.log",
+        ]
+        # Rotation must not lose or reorder records.
+        assert [seq for seq, _ in wal.replay()] == list(range(1, 11))
+
+    def test_replay_skips_whole_old_segments(self, tmp_path):
+        wal = ActionWAL(tmp_path, segment_max_records=3)
+        for i in range(9):
+            wal.append(_action(i))
+        assert [seq for seq, _ in wal.replay(after_seq=6)] == [7, 8, 9]
+
+    def test_reopen_resumes_sequence_numbers(self, tmp_path):
+        with ActionWAL(tmp_path, segment_max_records=3) as wal:
+            for i in range(7):
+                wal.append(_action(i))
+        reopened = ActionWAL(tmp_path, segment_max_records=3)
+        assert reopened.last_seq == 7
+        assert reopened.append(_action(7)) == 8
+        assert [seq for seq, _ in reopened.replay()] == list(range(1, 9))
+
+
+class TestCorruption:
+    def test_torn_tail_is_dropped(self, tmp_path):
+        wal = ActionWAL(tmp_path)
+        for i in range(3):
+            wal.append(_action(i))
+        wal.close()
+        segment = wal.segments()[-1]
+        with open(segment, "a", encoding="utf-8") as handle:
+            handle.write("4\t99.0\tu1\tv1\tcli")  # crash mid-append
+        assert [seq for seq, _ in ActionWAL(tmp_path).replay()] == [1, 2, 3]
+
+    def test_reopen_after_torn_tail_continues_cleanly(self, tmp_path):
+        wal = ActionWAL(tmp_path)
+        wal.append(_action(0))
+        wal.close()
+        segment = wal.segments()[-1]
+        with open(segment, "a", encoding="utf-8") as handle:
+            handle.write("2\tgarb")
+        reopened = ActionWAL(tmp_path)
+        assert reopened.last_seq == 1
+
+    def test_interior_corruption_raises(self, tmp_path):
+        wal = ActionWAL(tmp_path)
+        for i in range(3):
+            wal.append(_action(i))
+        wal.close()
+        segment = wal.segments()[-1]
+        lines = segment.read_text(encoding="utf-8").splitlines()
+        lines[1] = "not a record"
+        segment.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(WALError, match="corrupt"):
+            list(ActionWAL(tmp_path).replay())
+
+    def test_sequence_gap_raises(self, tmp_path):
+        wal = ActionWAL(tmp_path)
+        for i in range(3):
+            wal.append(_action(i))
+        wal.close()
+        segment = wal.segments()[-1]
+        lines = segment.read_text(encoding="utf-8").splitlines()
+        del lines[1]
+        segment.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(WALError, match="gap"):
+            list(ActionWAL(tmp_path).replay())

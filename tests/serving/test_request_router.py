@@ -58,6 +58,45 @@ class TestHandling:
         assert stats.empty == 1
 
 
+class TestGracefulDegradation:
+    def test_fallback_serves_when_primary_fails(self):
+        fallback = _Backend()
+        router = RequestRouter(_Backend(fail_for={"u1"}), fallback=fallback)
+        response = router.handle(RecRequest("u1", n=3))
+        assert response.ok
+        assert response.degraded
+        assert len(response.video_ids) == 3
+        assert fallback.calls == [("u1", None, 3, None)]
+        stats = router.stats(Scenario.GUESS_YOU_LIKE)
+        assert stats.fallbacks == 1
+        assert stats.errors == 0
+
+    def test_fallback_not_consulted_on_success(self):
+        fallback = _Backend()
+        router = RequestRouter(_Backend(), fallback=fallback)
+        response = router.handle(RecRequest("u1"))
+        assert response.ok and not response.degraded
+        assert fallback.calls == []
+        assert router.stats(Scenario.GUESS_YOU_LIKE).fallbacks == 0
+
+    def test_both_backends_failing_reports_both_errors(self):
+        router = RequestRouter(
+            _Backend(fail_for={"u1"}), fallback=_Backend(fail_for={"u1"})
+        )
+        response = router.handle(RecRequest("u1"))
+        assert not response.ok
+        assert not response.degraded
+        assert "fallback failed" in response.error
+        stats = router.stats(Scenario.GUESS_YOU_LIKE)
+        assert stats.errors == 1
+        assert stats.fallbacks == 0
+
+    def test_fallbacks_in_snapshot(self):
+        router = RequestRouter(_Backend(fail_for={"u1"}), fallback=_Backend())
+        router.handle(RecRequest("u1"))
+        assert router.snapshot()["guess_you_like"]["fallbacks"] == 1
+
+
 class TestStats:
     def test_per_scenario_accounting(self):
         router = RequestRouter(_Backend(fail_for={"bad"}))

@@ -1,5 +1,6 @@
 """Tests for stable hashing (shard/worker routing determinism)."""
 
+import os
 import subprocess
 import sys
 
@@ -23,8 +24,15 @@ class TestStableHash:
                 [sys.executable, "-c", code],
                 capture_output=True,
                 text=True,
-                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+                env={
+                    "PYTHONHASHSEED": seed,
+                    "PATH": "/usr/bin:/bin",
+                    # The subprocess must be able to import repro however
+                    # this test process found it (src checkout or install).
+                    "PYTHONPATH": os.pathsep.join(sys.path),
+                },
             )
+            assert result.returncode == 0, result.stderr
             outs.add(result.stdout.strip())
         assert len(outs) == 1
         assert outs.pop() == str(stable_hash("k1"))
