@@ -60,6 +60,22 @@ class InjectedFault(ReproError):
     """A deliberately injected failure from the fault-injection harness."""
 
 
+class OverloadError(ReproError):
+    """Base class for overload-protection failures (breakers, deadlines)."""
+
+
+class CircuitOpenError(OverloadError):
+    """A call was rejected fast because its circuit breaker is open."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"circuit breaker {name!r} is open")
+        self.name = name
+
+
+class DeadlineExceededError(OverloadError):
+    """A request's deadline budget ran out before it could be served."""
+
+
 class TopologyError(ReproError):
     """The stream topology is mis-wired (unknown component, cycle, ...)."""
 

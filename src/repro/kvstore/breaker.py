@@ -1,0 +1,102 @@
+"""Circuit-breaker protection for KV shards.
+
+The paper's storage tier is a remote, distributed memory store (§5.1) — a
+shard that starts timing out turns every read into a multi-millisecond
+stall, and under peak load (0.1 M req/s, §6.2) those stalls alone sink the
+serving tier.  :class:`BreakerKVStore` wraps any
+:class:`~repro.kvstore.KVStore` with a
+:class:`~repro.reliability.overload.CircuitBreaker`: after
+``failure_threshold`` consecutive shard faults the breaker opens and every
+subsequent operation raises :class:`~repro.errors.CircuitOpenError`
+*immediately*, so the request router fails over to its fallback
+recommender in microseconds instead of timing out per request.  Once the
+reset timeout passes, half-open probe operations test the shard and close
+the breaker on recovery.
+
+Logical outcomes (:class:`~repro.errors.KeyNotFound`,
+:class:`~repro.errors.CASConflict`) prove the shard is healthy and count
+as successes; only infrastructure faults (e.g.
+:class:`~repro.errors.TransientKVError` from a flaky shard) trip the
+breaker.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from ..errors import CASConflict, CircuitOpenError, KeyNotFound
+from .store import Key, KVStore
+
+if TYPE_CHECKING:  # imported lazily to avoid a kvstore <-> reliability cycle
+    from ..reliability.overload import CircuitBreaker
+
+
+class BreakerKVStore(KVStore):
+    """Wraps a store so shard faults trip a circuit breaker.
+
+    Read-only metadata (``version``, ``__contains__``, ``__len__``,
+    ``keys``, snapshots) bypasses the breaker — those never hit a slow
+    remote path in this substrate and recovery/checkpoint code must keep
+    working while the breaker is open.
+    """
+
+    def __init__(self, inner: KVStore, breaker: "CircuitBreaker") -> None:
+        self.inner = inner
+        self.breaker = breaker
+
+    def _guarded(self, fn: Callable[[], Any]) -> Any:
+        if not self.breaker.allow():
+            raise CircuitOpenError(self.breaker.name)
+        try:
+            result = fn()
+        except (KeyNotFound, CASConflict):
+            # The shard answered; the *request* lost. Not a fault.
+            self.breaker.record_success()
+            raise
+        except Exception:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        return result
+
+    # -- KVStore API (breaker check, then delegate) ------------------------
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        return self._guarded(lambda: self.inner.get(key, default))
+
+    def get_strict(self, key: Key) -> Any:
+        return self._guarded(lambda: self.inner.get_strict(key))
+
+    def put(self, key: Key, value: Any, ttl: float | None = None) -> int:
+        return self._guarded(lambda: self.inner.put(key, value, ttl=ttl))
+
+    def delete(self, key: Key) -> bool:
+        return self._guarded(lambda: self.inner.delete(key))
+
+    def update(
+        self, key: Key, fn: Callable[[Any], Any], default: Any = None
+    ) -> Any:
+        return self._guarded(lambda: self.inner.update(key, fn, default=default))
+
+    def compare_and_set(self, key: Key, value: Any, expected_version: int) -> int:
+        return self._guarded(
+            lambda: self.inner.compare_and_set(key, value, expected_version)
+        )
+
+    def version(self, key: Key) -> int:
+        return self.inner.version(key)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self.inner
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def keys(self) -> Iterator[Key]:
+        return self.inner.keys()
+
+    def snapshot_entries(self):
+        return self.inner.snapshot_entries()
+
+    def restore_entries(self, entries):
+        return self.inner.restore_entries(entries)

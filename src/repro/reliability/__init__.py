@@ -14,14 +14,36 @@ in-process substrate:
 * :mod:`~repro.reliability.supervisor` — bounded worker restarts with
   exponential backoff, honoured by both executors;
 * :mod:`~repro.reliability.faults` — seeded, deterministic chaos: worker
-  crashes, tuple drops/duplicates, transient KV errors.
+  crashes, tuple drops/duplicates/redeliveries, transient KV errors;
+* :mod:`~repro.reliability.overload` — admission control (token bucket +
+  concurrency cap) and circuit breakers, the serve-under-load half of
+  robustness;
+* :mod:`~repro.reliability.deadletter` — the quarantine for rejected
+  ingest tuples, with reason codes, inspection and replay.
 
 Recovery semantics are documented in DESIGN.md ("Fault-tolerance
-subsystem"); the chaos/recovery test suite lives in ``tests/reliability``.
+subsystem"), overload semantics in DESIGN.md ("Overload semantics"); the
+chaos/recovery test suites live in ``tests/reliability`` and
+``tests/overload``.
 """
 
 from .checkpoint import CheckpointInfo, CheckpointManager
+from .deadletter import (
+    REASON_DUPLICATE,
+    REASON_LATE,
+    REASON_MALFORMED,
+    DeadLetter,
+    DeadLetterStore,
+)
 from .faults import ChaosBolt, FaultPlan, FlakyKVStore, wrap_topology
+from .overload import (
+    AdmissionController,
+    AdmissionDecision,
+    BreakerState,
+    CircuitBreaker,
+    ConcurrencyLimiter,
+    TokenBucket,
+)
 from .replay import RecoveryManager, RecoveryReport
 from .supervisor import RetryPolicy, Supervisor
 from .wal import ActionWAL
@@ -38,4 +60,15 @@ __all__ = [
     "ChaosBolt",
     "FlakyKVStore",
     "wrap_topology",
+    "TokenBucket",
+    "ConcurrencyLimiter",
+    "AdmissionController",
+    "AdmissionDecision",
+    "CircuitBreaker",
+    "BreakerState",
+    "DeadLetterStore",
+    "DeadLetter",
+    "REASON_MALFORMED",
+    "REASON_DUPLICATE",
+    "REASON_LATE",
 ]

@@ -1,0 +1,177 @@
+"""Dead-letter queue for rejected ingest tuples.
+
+"The spout ... filters the unqualified data tuples" (§5.1) — but in a
+production pipeline *silently* dropping bad input is itself a failure
+mode: a duplicated action double-trains the model, a stale replay skews
+the similarity damping, and nobody can audit what was thrown away.  The
+:class:`DeadLetterStore` makes every rejection observable: each dropped
+tuple is recorded with a machine-readable reason code, an optional human
+detail string, and the event time, and the queue is both inspectable
+(tests assert exact reason codes) and replayable (a fixed upstream can
+re-feed the quarantined payloads).
+
+Optionally mirrors every record to a JSONL file so rejected traffic
+survives a process crash and can be inspected with standard tools
+(``jq``, ``grep``)."""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from ..clock import Clock, SystemClock
+from ..data.schema import UserAction
+
+#: Reason codes for dead-lettered tuples (stable strings — asserted in tests).
+REASON_MALFORMED = "malformed"
+REASON_DUPLICATE = "duplicate"
+REASON_LATE = "late"
+
+ALL_REASONS = (REASON_MALFORMED, REASON_DUPLICATE, REASON_LATE)
+
+
+@dataclass(frozen=True, slots=True)
+class DeadLetter:
+    """One quarantined payload: what was dropped, why, and when."""
+
+    reason: str
+    payload: Any
+    detail: str = ""
+    recorded_at: float = 0.0
+
+
+def _serialise_payload(payload: Any) -> str:
+    if isinstance(payload, UserAction):
+        return payload.to_log_line()
+    return str(payload)
+
+
+class DeadLetterStore:
+    """Thread-safe, bounded, optionally disk-backed dead-letter queue.
+
+    ``max_records`` bounds memory: when full, the *oldest* records are
+    evicted (the JSONL mirror, if configured, keeps everything).  Use
+    :meth:`records` / :meth:`counts` for inspection and :meth:`replay` to
+    drain the queue back through a handler once the upstream defect is
+    fixed.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        max_records: int = 100_000,
+        clock: Clock | None = None,
+    ) -> None:
+        if max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        self._records: list[DeadLetter] = []
+        self._max_records = max_records
+        self._clock = clock or SystemClock()
+        self._path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        if self._path is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+
+    def add(self, reason: str, payload: Any, detail: str = "") -> DeadLetter:
+        """Quarantine one payload under ``reason``; return the record."""
+        record = DeadLetter(
+            reason=reason,
+            payload=payload,
+            detail=detail,
+            recorded_at=self._clock.now(),
+        )
+        line = None
+        if self._path is not None:
+            line = json.dumps(
+                {
+                    "reason": record.reason,
+                    "detail": record.detail,
+                    "recorded_at": record.recorded_at,
+                    "payload": _serialise_payload(payload),
+                },
+                sort_keys=True,
+            )
+        with self._lock:
+            self._records.append(record)
+            if len(self._records) > self._max_records:
+                del self._records[: len(self._records) - self._max_records]
+        if line is not None and self._path is not None:
+            with self._lock:
+                with self._path.open("a", encoding="utf-8") as fh:
+                    fh.write(line + "\n")
+        return record
+
+    def records(self, reason: str | None = None) -> list[DeadLetter]:
+        """All records (optionally filtered by reason), oldest first."""
+        with self._lock:
+            records = list(self._records)
+        if reason is not None:
+            records = [r for r in records if r.reason == reason]
+        return records
+
+    def counts(self) -> dict[str, int]:
+        """Record count per reason code (only reasons actually seen)."""
+        out: dict[str, int] = {}
+        with self._lock:
+            for record in self._records:
+                out[record.reason] = out.get(record.reason, 0) + 1
+        return out
+
+    def replay(
+        self,
+        handler: Callable[[Any], None],
+        reasons: Iterable[str] | None = None,
+    ) -> int:
+        """Drain quarantined payloads back through ``handler``.
+
+        Only records whose reason is in ``reasons`` (default: all) are
+        replayed; replayed records are removed from the queue, the rest
+        stay.  Returns the number of payloads replayed.  A handler that
+        raises stops the replay with already-handled records removed.
+        """
+        wanted = set(reasons) if reasons is not None else None
+        with self._lock:
+            to_replay = [
+                r
+                for r in self._records
+                if wanted is None or r.reason in wanted
+            ]
+            self._records = [
+                r
+                for r in self._records
+                if not (wanted is None or r.reason in wanted)
+            ]
+        replayed = 0
+        try:
+            for record in to_replay:
+                handler(record.payload)
+                replayed += 1
+        except Exception:
+            # Put back what was not yet handled (including the failing
+            # record), preserving order.
+            with self._lock:
+                self._records = to_replay[replayed:] + self._records
+            raise
+        return replayed
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @staticmethod
+    def load_jsonl(path: str | Path) -> list[dict[str, Any]]:
+        """Read a disk mirror back as plain dicts (the inspection story)."""
+        out: list[dict[str, Any]] = []
+        with Path(path).open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    out.append(json.loads(line))
+        return out

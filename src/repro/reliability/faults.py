@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from ..errors import InjectedFault, TransientKVError
 from ..hashing import stable_hash
@@ -48,6 +48,7 @@ class FaultPlan:
     crash_every: Mapping[str, int] = field(default_factory=dict)
     drop_rate: float = 0.0
     duplicate_rate: float = 0.0
+    redeliver_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name, period in self.crash_every.items():
@@ -60,6 +61,10 @@ class FaultPlan:
         if not 0.0 <= self.duplicate_rate < 1.0:
             raise ValueError(
                 f"duplicate_rate must be in [0, 1), got {self.duplicate_rate}"
+            )
+        if not 0.0 <= self.redeliver_rate < 1.0:
+            raise ValueError(
+                f"redeliver_rate must be in [0, 1), got {self.redeliver_rate}"
             )
 
 
@@ -85,13 +90,7 @@ class ChaosBolt(Bolt):
         )
         self.inner.prepare(ctx)
 
-    def process(self, tup: StreamTuple, collector: Collector) -> None:
-        self._count += 1
-        period = self.plan.crash_every.get(self.component)
-        if period is not None and self._count % period == 0:
-            raise InjectedFault(
-                f"injected crash in {self.component!r} at tuple {self._count}"
-            )
+    def _deliver_once(self, tup: StreamTuple, collector: Collector) -> None:
         staging = Collector()
         self.inner.process(tup, staging)
         for emitted in staging.drain():
@@ -102,15 +101,43 @@ class ChaosBolt(Bolt):
             if roll < self.plan.drop_rate + self.plan.duplicate_rate:
                 collector.emit(emitted, stream=emitted.stream)
 
+    def process(self, tup: StreamTuple, collector: Collector) -> None:
+        self._count += 1
+        period = self.plan.crash_every.get(self.component)
+        if period is not None and self._count % period == 0:
+            raise InjectedFault(
+                f"injected crash in {self.component!r} at tuple {self._count}"
+            )
+        self._deliver_once(tup, collector)
+        # At-least-once redelivery: the same input tuple is handed to the
+        # bolt a second time, as if an upstream ack was lost and the tuple
+        # replayed — the fault the ingest dedup window exists to absorb.
+        if (
+            self.plan.redeliver_rate
+            and self._rng.random() < self.plan.redeliver_rate
+        ):
+            self._deliver_once(tup, collector)
+
     def cleanup(self) -> None:
         self.inner.cleanup()
 
 
-def wrap_topology(topology: Topology, plan: FaultPlan) -> Topology:
-    """Interpose :class:`ChaosBolt` around every bolt of ``topology``."""
+def wrap_topology(
+    topology: Topology,
+    plan: FaultPlan,
+    components: Iterable[str] | None = None,
+) -> Topology:
+    """Interpose :class:`ChaosBolt` around bolts of ``topology``.
+
+    ``components`` restricts the chaos to the named bolts (default: every
+    bolt) — e.g. inject redeliveries only at the ingest stage.
+    """
+    wanted = set(components) if components is not None else None
 
     def _wrap(spec: ComponentSpec) -> Callable[[], Bolt]:
         inner_factory = spec.factory
+        if wanted is not None and spec.name not in wanted:
+            return inner_factory
         return lambda: ChaosBolt(inner_factory(), spec.name, plan)
 
     return topology.with_wrapped_bolts(_wrap)

@@ -1,0 +1,326 @@
+"""Overload protection primitives: admission control and circuit breaking.
+
+The paper's deployment absorbs "more than 1 billion user requests every
+day, with maximum 0.1 million requests in one second" (§6.2) — a peak no
+serving tier survives by queueing alone.  This module provides the three
+classic controls the serving layer composes (admission → deadline →
+breaker → fallback, see DESIGN.md "Overload semantics"):
+
+* :class:`TokenBucket` — a deterministic rate limiter.  Tokens refill at
+  ``rate`` per second on the injected clock and cap at ``capacity``; a
+  request is admitted iff a token is available.  With a
+  :class:`~repro.clock.VirtualClock` the refill schedule is exact, so
+  saturation tests are bit-for-bit reproducible.
+* :class:`ConcurrencyLimiter` — a non-blocking cap on in-flight requests.
+* :class:`AdmissionController` — combines both; rejections carry a reason
+  (``"rate"`` or ``"concurrency"``) and are counted.
+* :class:`CircuitBreaker` — the closed → open → half-open state machine.
+  ``failure_threshold`` consecutive failures open the circuit; while open
+  every call fails fast (no backend invocation) until ``reset_timeout``
+  seconds pass, then a bounded number of half-open probes decide between
+  closing and re-opening.
+
+Everything here takes an injected clock and no RNG, so overload behaviour
+in tests is deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..clock import Clock, SystemClock
+from ..errors import CircuitOpenError
+
+
+class TokenBucket:
+    """Deterministic token-bucket rate limiter.
+
+    ``rate`` tokens are added per second of *clock* time, up to
+    ``capacity``; the bucket starts full.  :meth:`try_acquire` is
+    non-blocking — overload is shed, never queued.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self.capacity = float(capacity) if capacity is not None else float(rate)
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._clock = clock or SystemClock()
+        self._tokens = self.capacity
+        self._last_refill = self._clock.now()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = self._clock.now()
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+            self._last_refill = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; return whether they were granted.
+
+        The comparison carries a tiny epsilon so that refill amounts
+        accumulated over many small clock steps (e.g. exactly 0.1 tokens
+        per arrival) are not defeated by float rounding.
+        """
+        with self._lock:
+            self._refill_locked()
+            if self._tokens + 1e-9 >= tokens:
+                self._tokens = max(0.0, self._tokens - tokens)
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        """Current token count (after refill) — for tests and dashboards."""
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+
+class ConcurrencyLimiter:
+    """Non-blocking cap on concurrently admitted requests."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._inflight = 0
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            if self._inflight >= self.limit:
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._inflight <= 0:
+                raise RuntimeError("release() without a matching try_acquire()")
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+
+#: Reason codes attached to shed admissions.
+SHED_RATE = "rate"
+SHED_CONCURRENCY = "concurrency"
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDecision:
+    """Outcome of one admission check.
+
+    ``admitted=False`` carries the shed reason; an admitted decision holds
+    the concurrency slot until :meth:`AdmissionController.release` is
+    called (the router does this in a ``finally``).
+    """
+
+    admitted: bool
+    reason: str | None = None
+
+
+class AdmissionController:
+    """Admission control in front of a serving endpoint.
+
+    Composes an optional rate limit (requests per second with burst
+    ``burst``) and an optional concurrency cap.  The rate check runs
+    first: a request shed by rate never consumes a concurrency slot.
+    """
+
+    def __init__(
+        self,
+        rate: float | None = None,
+        burst: float | None = None,
+        max_concurrency: int | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        if rate is None and max_concurrency is None:
+            raise ValueError("need at least one of rate / max_concurrency")
+        self._bucket = (
+            TokenBucket(rate, capacity=burst, clock=clock)
+            if rate is not None
+            else None
+        )
+        self._limiter = (
+            ConcurrencyLimiter(max_concurrency)
+            if max_concurrency is not None
+            else None
+        )
+        self.admitted = 0
+        self.shed_rate = 0
+        self.shed_concurrency = 0
+        self._lock = threading.Lock()
+
+    def try_admit(self) -> AdmissionDecision:
+        """Admit or shed one request; admitted requests must be released."""
+        if self._bucket is not None and not self._bucket.try_acquire():
+            with self._lock:
+                self.shed_rate += 1
+            return AdmissionDecision(False, SHED_RATE)
+        if self._limiter is not None and not self._limiter.try_acquire():
+            with self._lock:
+                self.shed_concurrency += 1
+            return AdmissionDecision(False, SHED_CONCURRENCY)
+        with self._lock:
+            self.admitted += 1
+        return AdmissionDecision(True)
+
+    def release(self) -> None:
+        """Return the concurrency slot of an admitted request."""
+        if self._limiter is not None:
+            self._limiter.release()
+
+    @property
+    def shed(self) -> int:
+        with self._lock:
+            return self.shed_rate + self.shed_concurrency
+
+
+class BreakerState(enum.Enum):
+    """Circuit breaker states (classic three-state machine)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Closed → open → half-open circuit breaker with an injected clock.
+
+    * **closed** — calls flow through; ``failure_threshold`` *consecutive*
+      failures trip the breaker open (a success resets the streak).
+    * **open** — :meth:`allow` returns ``False`` (callers fail fast with
+      :class:`~repro.errors.CircuitOpenError` via :meth:`call`) until
+      ``reset_timeout`` seconds of clock time have passed.
+    * **half-open** — up to ``half_open_max_probes`` trial calls are let
+      through; ``success_threshold`` consecutive successes close the
+      breaker, any failure re-opens it (and restarts the timeout).
+
+    Thread-safe; all transitions are driven by :meth:`allow`,
+    :meth:`record_success` and :meth:`record_failure`, so the state machine
+    is fully deterministic under a :class:`~repro.clock.VirtualClock`.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        success_threshold: int = 1,
+        half_open_max_probes: int = 1,
+        clock: Clock | None = None,
+        name: str = "breaker",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        if success_threshold < 1:
+            raise ValueError("success_threshold must be >= 1")
+        if half_open_max_probes < 1:
+            raise ValueError("half_open_max_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.success_threshold = success_threshold
+        self.half_open_max_probes = half_open_max_probes
+        self.name = name
+        self._clock = clock or SystemClock()
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        self._opened_at = 0.0
+        self._probes = 0
+        self.opened_count = 0
+        self.fast_failures = 0
+
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock.now() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probes = 0
+            self._consecutive_successes = 0
+
+    def _open_locked(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock.now()
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        self.opened_count += 1
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (counts half-open probes)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.HALF_OPEN:
+                if self._probes < self.half_open_max_probes:
+                    self._probes += 1
+                    return True
+            self.fast_failures += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state is BreakerState.HALF_OPEN:
+                self._consecutive_successes += 1
+                if self._consecutive_successes >= self.success_threshold:
+                    self._state = BreakerState.CLOSED
+                    self._consecutive_successes = 0
+            elif self._state is BreakerState.OPEN:
+                # A straggler from before the trip finished; ignore.
+                pass
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._open_locked()
+                return
+            if self._state is BreakerState.CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self._open_locked()
+
+    def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Run ``fn`` through the breaker.
+
+        Raises :class:`~repro.errors.CircuitOpenError` without invoking
+        ``fn`` when the breaker is open (or half-open with its probe budget
+        spent); otherwise records success/failure from the call's outcome
+        and re-raises any failure.
+        """
+        if not self.allow():
+            raise CircuitOpenError(self.name)
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

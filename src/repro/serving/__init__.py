@@ -7,6 +7,7 @@ updating in real time (§4.1, §6).
 
 from .loadgen import LoadGenerator, LoadReport
 from .router import (
+    Outcome,
     RecRequest,
     RecResponse,
     RequestRouter,
@@ -20,6 +21,7 @@ __all__ = [
     "RequestRouter",
     "Scenario",
     "ScenarioStats",
+    "Outcome",
     "LoadGenerator",
     "LoadReport",
 ]

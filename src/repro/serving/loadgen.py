@@ -3,10 +3,20 @@
 The paper's deployment handles "more than 1 billion user requests every
 day, with maximum 0.1 million requests in one second" while the model
 keeps updating underneath.  :class:`LoadGenerator` reproduces that setting
-at laptop scale: N serving threads fire requests at the router (a mix of
-both scenarios) while, optionally, a trainer thread streams new user
-actions into the same recommender — serve-while-train, the system's
-defining property.
+at laptop scale in two modes:
+
+* **closed-loop** (:meth:`LoadGenerator.run`) — N serving threads fire
+  requests back-to-back (each thread waits for its response before the
+  next request), optionally while a trainer thread streams new user
+  actions into the same recommender — serve-while-train, the system's
+  defining property.
+* **offered-load** (:meth:`LoadGenerator.run_offered`) — an open-loop
+  driver that *offers* a target QPS regardless of how the router copes,
+  which is what saturation needs: a closed loop slows down with the
+  server and can never push it past capacity.  On a
+  :class:`~repro.clock.VirtualClock` shared with the router's admission
+  controller, arrivals advance the clock at exactly ``1/qps`` steps, so a
+  2× overload experiment is deterministic and instant.
 """
 
 from __future__ import annotations
@@ -17,13 +27,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..clock import VirtualClock
 from ..data.schema import UserAction
 from .router import RecRequest, RequestRouter
 
 
 @dataclass(frozen=True, slots=True)
 class LoadReport:
-    """Outcome of one load run."""
+    """Outcome of one load run.
+
+    ``requests`` counts everything offered to the router; latency
+    percentiles describe only the requests the router actually served
+    (sheds and deadline misses are accounted in their own counters).
+    """
 
     requests: int
     errors: int
@@ -31,10 +47,43 @@ class LoadReport:
     mean_latency_ms: float
     p99_latency_ms: float
     trained_actions: int
+    shed: int = 0
+    deadline_exceeded: int = 0
+    p50_latency_ms: float = 0.0
+    p95_latency_ms: float = 0.0
 
     @property
     def qps(self) -> float:
         return self.requests / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    @property
+    def accepted(self) -> int:
+        """Requests that reached a backend (served ok, degraded or error)."""
+        return self.requests - self.shed - self.deadline_exceeded
+
+
+def _report_from_responses(
+    responses_latencies_ms: np.ndarray,
+    total: int,
+    errors: int,
+    shed: int,
+    deadline_exceeded: int,
+    elapsed: float,
+    trained: int,
+) -> LoadReport:
+    lat = responses_latencies_ms
+    return LoadReport(
+        requests=total,
+        errors=errors,
+        elapsed_seconds=elapsed,
+        mean_latency_ms=float(lat.mean()) if lat.size else 0.0,
+        p99_latency_ms=float(np.percentile(lat, 99)) if lat.size else 0.0,
+        trained_actions=trained,
+        shed=shed,
+        deadline_exceeded=deadline_exceeded,
+        p50_latency_ms=float(np.percentile(lat, 50)) if lat.size else 0.0,
+        p95_latency_ms=float(np.percentile(lat, 95)) if lat.size else 0.0,
+    )
 
 
 class LoadGenerator:
@@ -58,21 +107,25 @@ class LoadGenerator:
         self.related_fraction = related_fraction
         self.seed = seed
 
+    def _make_request(
+        self, rng: np.random.Generator, now: float, deadline: float | None
+    ) -> RecRequest:
+        user = self.user_ids[rng.integers(0, len(self.user_ids))]
+        if rng.random() < self.related_fraction:
+            video = self.video_ids[rng.integers(0, len(self.video_ids))]
+            return RecRequest(
+                user,
+                current_video=video,
+                timestamp=now,
+                deadline_seconds=deadline,
+            )
+        return RecRequest(user, timestamp=now, deadline_seconds=deadline)
+
     def _requests_for_worker(
         self, worker: int, count: int, now: float
     ) -> list[RecRequest]:
         rng = np.random.default_rng(self.seed * 1009 + worker)
-        requests = []
-        for _ in range(count):
-            user = self.user_ids[rng.integers(0, len(self.user_ids))]
-            if rng.random() < self.related_fraction:
-                video = self.video_ids[rng.integers(0, len(self.video_ids))]
-                requests.append(
-                    RecRequest(user, current_video=video, timestamp=now)
-                )
-            else:
-                requests.append(RecRequest(user, timestamp=now))
-        return requests
+        return [self._make_request(rng, now, None) for _ in range(count)]
 
     def run(
         self,
@@ -82,7 +135,7 @@ class LoadGenerator:
         training_stream: list[UserAction] | None = None,
         observe=None,
     ) -> LoadReport:
-        """Fire ``total_requests`` across ``workers`` threads.
+        """Fire ``total_requests`` across ``workers`` threads (closed loop).
 
         When ``training_stream`` and ``observe`` are given, a dedicated
         trainer thread feeds the stream through ``observe`` concurrently —
@@ -92,22 +145,30 @@ class LoadGenerator:
             raise ValueError("total_requests and workers must be >= 1")
         per_worker = max(1, total_requests // workers)
         latencies: list[float] = []
-        errors = [0]
+        counters = {"errors": 0, "shed": 0, "deadline": 0}
         lock = threading.Lock()
 
         def serve(worker_idx: int) -> None:
             own: list[float] = []
-            own_errors = 0
+            own_errors = own_shed = own_deadline = 0
             for request in self._requests_for_worker(
                 worker_idx, per_worker, now
             ):
                 response = self.router.handle(request)
+                if response.shed:
+                    own_shed += 1
+                    continue
+                if response.deadline_exceeded:
+                    own_deadline += 1
+                    continue
                 own.append(response.latency_seconds)
                 if not response.ok:
                     own_errors += 1
             with lock:
                 latencies.extend(own)
-                errors[0] += own_errors
+                counters["errors"] += own_errors
+                counters["shed"] += own_shed
+                counters["deadline"] += own_deadline
 
         trained = [0]
         stop_training = threading.Event()
@@ -140,12 +201,71 @@ class LoadGenerator:
         if trainer is not None:
             trainer.join(timeout=60.0)
 
-        lat = np.array(latencies) * 1000.0
-        return LoadReport(
-            requests=len(latencies),
-            errors=errors[0],
-            elapsed_seconds=elapsed,
-            mean_latency_ms=float(lat.mean()) if lat.size else 0.0,
-            p99_latency_ms=float(np.percentile(lat, 99)) if lat.size else 0.0,
-            trained_actions=trained[0],
+        total = (
+            len(latencies) + counters["shed"] + counters["deadline"]
+        )
+        return _report_from_responses(
+            np.array(latencies) * 1000.0,
+            total=total,
+            errors=counters["errors"],
+            shed=counters["shed"],
+            deadline_exceeded=counters["deadline"],
+            elapsed=elapsed,
+            trained=trained[0],
+        )
+
+    def run_offered(
+        self,
+        total_requests: int,
+        qps: float,
+        clock: VirtualClock,
+        deadline_seconds: float | None = None,
+    ) -> LoadReport:
+        """Offer ``total_requests`` at a fixed ``qps`` on a virtual clock.
+
+        Open-loop saturation driver: arrivals are spaced exactly ``1/qps``
+        apart on ``clock`` — which must be the same
+        :class:`~repro.clock.VirtualClock` the router (and its admission
+        controller / simulated backend) runs on — so offered load does not
+        slow down when the router saturates, and the run is fully
+        deterministic.  ``deadline_seconds`` stamps every request with
+        that latency budget.
+        """
+        if total_requests < 1:
+            raise ValueError("total_requests must be >= 1")
+        if qps <= 0:
+            raise ValueError(f"qps must be positive, got {qps}")
+        interval = 1.0 / qps
+        rng = np.random.default_rng(self.seed * 1009)
+        latencies: list[float] = []
+        errors = shed = deadline_missed = 0
+        started = clock.now()
+        next_arrival = started
+        for i in range(total_requests):
+            # Arrivals follow an absolute schedule (started + i/qps): time
+            # the backend consumes serving one request does not push later
+            # arrivals back — that is what makes the load *offered* rather
+            # than closed-loop.
+            if clock.now() < next_arrival:
+                clock.advance(next_arrival - clock.now())
+            next_arrival += interval
+            request = self._make_request(rng, clock.now(), deadline_seconds)
+            response = self.router.handle(request)
+            if response.shed:
+                shed += 1
+            elif response.deadline_exceeded:
+                deadline_missed += 1
+            else:
+                latencies.append(response.latency_seconds)
+                if not response.ok:
+                    errors += 1
+        elapsed = clock.now() - started
+        return _report_from_responses(
+            np.array(latencies) * 1000.0,
+            total=total_requests,
+            errors=errors,
+            shed=shed,
+            deadline_exceeded=deadline_missed,
+            elapsed=elapsed,
+            trained=0,
         )

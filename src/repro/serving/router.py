@@ -8,6 +8,25 @@ isolation (a failing request returns an empty response rather than taking
 the service down) and latency tracking — the numbers the paper quotes
 ("handling millions of user requests every day, with latency of
 milliseconds").
+
+The router also carries the overload-protection chain (DESIGN.md
+"Overload semantics"), applied in a fixed order per request:
+
+1. **admission** — an optional
+   :class:`~repro.reliability.overload.AdmissionController` sheds excess
+   traffic before any backend work (``RecResponse.shed``);
+2. **deadline** — an optional per-request budget
+   (``RecRequest.deadline_seconds``), checked between the primary and the
+   fallback so a slow primary still leaves the fallback its share;
+3. **circuit breaker** — an optional
+   :class:`~repro.reliability.overload.CircuitBreaker` around the primary
+   recommender: while open, requests skip straight to the fallback
+   instead of waiting on a backend that is known-broken;
+4. **fallback** — the degraded-serving path inherited from the
+   fault-tolerance subsystem.
+
+Sheds and deadline misses are distinct response outcomes — never
+exceptions — and are counted per scenario.
 """
 
 from __future__ import annotations
@@ -16,8 +35,20 @@ import enum
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from ..clock import Clock
 from ..storm.metrics import LatencyStats
+
+if TYPE_CHECKING:  # avoid serving <-> reliability import at module load
+    from ..reliability.overload import AdmissionController, CircuitBreaker
+
+
+class _PerfClock:
+    """Monotonic wall-clock for latency/deadline measurement (default)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
 
 
 class Scenario(enum.Enum):
@@ -27,18 +58,31 @@ class Scenario(enum.Enum):
     RELATED_VIDEOS = "related_videos"
 
 
+class Outcome(enum.Enum):
+    """How a request left the router, from best to worst."""
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    SHED = "shed"
+    DEADLINE_EXCEEDED = "deadline_exceeded"
+    ERROR = "error"
+
+
 @dataclass(frozen=True, slots=True)
 class RecRequest:
     """One recommendation request.
 
     ``current_video`` set means the related-videos scenario; absent means
     the home-page scenario seeded from the user's history.
+    ``deadline_seconds`` is an optional total latency budget measured on
+    the router's clock from the moment :meth:`RequestRouter.handle` starts.
     """
 
     user_id: str
     current_video: str | None = None
     n: int = 10
     timestamp: float | None = None
+    deadline_seconds: float | None = None
 
     @property
     def scenario(self) -> Scenario:
@@ -54,8 +98,12 @@ class RecResponse:
     """The served list plus bookkeeping.
 
     ``degraded=True`` marks a response produced by the fallback
-    recommender after the primary failed — still a success (``ok``), but
-    observable in per-scenario metrics.
+    recommender after the primary failed (or its breaker was open) —
+    still a success (``ok``), but observable in per-scenario metrics.
+    ``shed=True`` means admission control rejected the request before any
+    backend work; ``deadline_exceeded=True`` means the budget ran out
+    before a fallback could be tried.  Both are distinct outcomes, not
+    errors.
     """
 
     request: RecRequest
@@ -63,24 +111,52 @@ class RecResponse:
     latency_seconds: float
     error: str | None = None
     degraded: bool = False
+    shed: bool = False
+    shed_reason: str | None = None
+    deadline_exceeded: bool = False
 
     @property
     def ok(self) -> bool:
-        return self.error is None
+        return (
+            self.error is None
+            and not self.shed
+            and not self.deadline_exceeded
+        )
 
     @property
     def empty(self) -> bool:
         return not self.video_ids
 
+    @property
+    def outcome(self) -> Outcome:
+        if self.shed:
+            return Outcome.SHED
+        if self.deadline_exceeded:
+            return Outcome.DEADLINE_EXCEEDED
+        if self.error is not None:
+            return Outcome.ERROR
+        if self.degraded:
+            return Outcome.DEGRADED
+        return Outcome.OK
+
 
 @dataclass
 class ScenarioStats:
-    """Per-scenario serving counters."""
+    """Per-scenario serving counters.
+
+    ``latency`` tracks *served* requests only (ok/degraded/error); shed
+    and deadline-exceeded requests are counted separately so admission
+    control cannot flatter the latency distribution with near-zero
+    rejections.
+    """
 
     requests: int = 0
     errors: int = 0
     empty: int = 0
     fallbacks: int = 0
+    shed: int = 0
+    deadline_exceeded: int = 0
+    breaker_fast_fails: int = 0
     latency: LatencyStats = field(default_factory=LatencyStats)
 
 
@@ -88,9 +164,10 @@ class RequestRouter:
     """Thread-safe serving front for any recommender.
 
     The backing recommender only needs ``recommend_ids``; the router adds
-    scenario dispatch, latency measurement, per-scenario stats and error
-    isolation.  Multiple threads may call :meth:`handle` concurrently —
-    the per-scenario counters are lock-protected, and the state the
+    scenario dispatch, latency measurement, per-scenario stats, error
+    isolation and the admission → deadline → breaker → fallback overload
+    chain.  Multiple threads may call :meth:`handle` concurrently — the
+    per-scenario counters are lock-protected, and the state the
     recommender reads lives in the (locked) KV store.
 
     ``fallback`` (any object with the same ``recommend_ids`` signature,
@@ -100,11 +177,27 @@ class RequestRouter:
     in the scenario's ``fallbacks`` metric, instead of returning an empty
     error response.  Only when the fallback also fails (or none is
     configured) does the response carry an error.
+
+    ``admission`` sheds excess traffic before any backend call;
+    ``breaker`` wraps only the *primary* recommender (the fallback is the
+    escape hatch and must stay reachable); ``clock`` drives latency and
+    deadline measurement — inject a
+    :class:`~repro.clock.VirtualClock` for deterministic overload tests.
     """
 
-    def __init__(self, recommender, fallback=None) -> None:
+    def __init__(
+        self,
+        recommender,
+        fallback=None,
+        admission: "AdmissionController | None" = None,
+        breaker: "CircuitBreaker | None" = None,
+        clock: Clock | None = None,
+    ) -> None:
         self.recommender = recommender
         self.fallback = fallback
+        self.admission = admission
+        self.breaker = breaker
+        self._clock = clock or _PerfClock()
         self._stats = {scenario: ScenarioStats() for scenario in Scenario}
         self._lock = threading.Lock()
 
@@ -118,17 +211,72 @@ class RequestRouter:
             )
         )
 
+    def _shed_response(
+        self, request: RecRequest, started: float, reason: str | None
+    ) -> RecResponse:
+        stats = self._stats[request.scenario]
+        with self._lock:
+            stats.requests += 1
+            stats.shed += 1
+        return RecResponse(
+            request=request,
+            video_ids=(),
+            latency_seconds=self._clock.now() - started,
+            shed=True,
+            shed_reason=reason,
+        )
+
+    def _remaining(self, request: RecRequest, started: float) -> float | None:
+        if request.deadline_seconds is None:
+            return None
+        return request.deadline_seconds - (self._clock.now() - started)
+
     def handle(self, request: RecRequest) -> RecResponse:
         """Serve one request; never raises."""
-        started = time.perf_counter()
+        started = self._clock.now()
+        if self.admission is not None:
+            decision = self.admission.try_admit()
+            if not decision.admitted:
+                return self._shed_response(request, started, decision.reason)
+            try:
+                return self._handle_admitted(request, started)
+            finally:
+                self.admission.release()
+        return self._handle_admitted(request, started)
+
+    def _handle_admitted(
+        self, request: RecRequest, started: float
+    ) -> RecResponse:
         error: str | None = None
         degraded = False
+        deadline_exceeded = False
+        breaker_fast_fail = False
         videos: tuple[str, ...] = ()
-        try:
-            videos = self._serve(self.recommender, request)
-        except Exception as exc:  # noqa: BLE001 - service isolation boundary
-            error = f"{type(exc).__name__}: {exc}"
-            if self.fallback is not None:
+
+        primary_allowed = self.breaker is None or self.breaker.allow()
+        primary_failed = True
+        if primary_allowed:
+            try:
+                videos = self._serve(self.recommender, request)
+                primary_failed = False
+                if self.breaker is not None:
+                    self.breaker.record_success()
+            except Exception as exc:  # noqa: BLE001 - service isolation boundary
+                error = f"{type(exc).__name__}: {exc}"
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+        else:
+            breaker_fast_fail = True
+            error = "CircuitOpenError: primary recommender breaker is open"
+
+        if primary_failed:
+            # The deadline checkpoint: only try the fallback if the budget
+            # (when set) still has time left.
+            remaining = self._remaining(request, started)
+            if remaining is not None and remaining <= 0:
+                deadline_exceeded = True
+                error = None
+            elif self.fallback is not None:
                 try:
                     videos = self._serve(self.fallback, request)
                     error = None
@@ -138,25 +286,31 @@ class RequestRouter:
                         f"{error}; fallback failed: "
                         f"{type(fb_exc).__name__}: {fb_exc}"
                     )
-        elapsed = time.perf_counter() - started
 
+        elapsed = self._clock.now() - started
         stats = self._stats[request.scenario]
         with self._lock:
             stats.requests += 1
-            stats.latency.record(elapsed)
-            if error is not None:
-                stats.errors += 1
+            if breaker_fast_fail:
+                stats.breaker_fast_fails += 1
+            if deadline_exceeded:
+                stats.deadline_exceeded += 1
             else:
-                if degraded:
-                    stats.fallbacks += 1
-                if not videos:
-                    stats.empty += 1
+                stats.latency.record(elapsed)
+                if error is not None:
+                    stats.errors += 1
+                else:
+                    if degraded:
+                        stats.fallbacks += 1
+                    if not videos:
+                        stats.empty += 1
         return RecResponse(
             request=request,
             video_ids=videos,
             latency_seconds=elapsed,
             error=error,
             degraded=degraded,
+            deadline_exceeded=deadline_exceeded,
         )
 
     def stats(self, scenario: Scenario) -> ScenarioStats:
@@ -172,8 +326,14 @@ class RequestRouter:
                     "errors": stats.errors,
                     "empty": stats.empty,
                     "fallbacks": stats.fallbacks,
+                    "shed": stats.shed,
+                    "deadline_exceeded": stats.deadline_exceeded,
+                    "breaker_fast_fails": stats.breaker_fast_fails,
                     "mean_latency_ms": stats.latency.mean * 1000.0,
                     "max_latency_ms": stats.latency.max * 1000.0,
+                    "p50_latency_ms": stats.latency.p50 * 1000.0,
+                    "p95_latency_ms": stats.latency.p95 * 1000.0,
+                    "p99_latency_ms": stats.latency.p99 * 1000.0,
                 }
         return out
 
@@ -181,3 +341,8 @@ class RequestRouter:
     def total_requests(self) -> int:
         with self._lock:
             return sum(s.requests for s in self._stats.values())
+
+    @property
+    def total_shed(self) -> int:
+        with self._lock:
+            return sum(s.shed for s in self._stats.values())

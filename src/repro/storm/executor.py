@@ -186,6 +186,10 @@ class LocalExecutor(_ExecutorBase):
             pending.extend(self._process_one(pending.popleft()))
 
 
+#: Full-queue behaviours for :class:`ThreadedExecutor`.
+QUEUE_POLICIES = ("block", "shed_newest", "shed_oldest")
+
+
 class ThreadedExecutor(_ExecutorBase):
     """One thread per worker, bounded queues, graceful drain on exhaustion.
 
@@ -193,6 +197,22 @@ class ThreadedExecutor(_ExecutorBase):
     once all spouts are exhausted and the counter reaches zero the workers
     are stopped.  Component failures with ``fail_fast=True`` abort the run
     and re-raise from :meth:`run`.
+
+    ``queue_policy`` selects the backpressure behaviour when a worker's
+    inbound queue is full:
+
+    * ``"block"`` (default) — the producer waits for space, propagating
+      backpressure up to the spout (classic flow control; the wait is
+      interrupted by a run abort, so a failed run cannot stall a spout
+      forever).
+    * ``"shed_newest"`` — the incoming tuple is dropped (tail drop).
+    * ``"shed_oldest"`` — the oldest queued tuple is dropped to make room
+      (head drop; keeps the freshest data flowing, the right policy for
+      real-time signals like the paper's action stream).
+
+    Shed tuples are counted per component in
+    :class:`~repro.storm.metrics.TopologyMetrics` (``shed``), alongside a
+    queue-depth gauge/high-water mark sampled at every enqueue.
     """
 
     def __init__(
@@ -201,19 +221,66 @@ class ThreadedExecutor(_ExecutorBase):
         fail_fast: bool = True,
         queue_size: int = 10_000,
         supervisor: "Supervisor | None" = None,
+        queue_policy: str = "block",
     ) -> None:
         super().__init__(topology, fail_fast=fail_fast, supervisor=supervisor)
+        if queue_policy not in QUEUE_POLICIES:
+            raise ValueError(
+                f"queue_policy must be one of {QUEUE_POLICIES}, got {queue_policy!r}"
+            )
         self._queue_size = queue_size
+        self._queue_policy = queue_policy
         self._queues: dict[tuple[str, int], queue.Queue] = {}
         self._inflight = 0
         self._cond = threading.Condition()
         self._stop = threading.Event()
         self._error: BaseException | None = None
 
+    def _shed(self, delivery: _Delivery) -> None:
+        """Account one dropped delivery: shed counter + in-flight release."""
+        self.metrics.component(delivery.target).record_shed()
+        self._done_one()
+
     def _enqueue(self, delivery: _Delivery) -> None:
+        q = self._queues[(delivery.target, delivery.worker)]
         with self._cond:
             self._inflight += 1
-        self._queues[(delivery.target, delivery.worker)].put(delivery)
+        if self._queue_policy == "block":
+            while True:
+                try:
+                    q.put(delivery, timeout=_POLL_INTERVAL)
+                    break
+                except queue.Full:
+                    if self._stop.is_set():
+                        # Run is aborting: don't stall the producer forever.
+                        self._shed(delivery)
+                        return
+        elif self._queue_policy == "shed_newest":
+            try:
+                q.put_nowait(delivery)
+            except queue.Full:
+                self._shed(delivery)
+                return
+        else:  # shed_oldest
+            while True:
+                try:
+                    q.put_nowait(delivery)
+                    break
+                except queue.Full:
+                    try:
+                        victim = q.get_nowait()
+                    except queue.Empty:
+                        continue  # consumer raced us; retry the put
+                    if victim is None:
+                        # Shutdown sentinel: keep it, drop the newcomer.
+                        try:
+                            q.put_nowait(victim)
+                        except queue.Full:
+                            pass  # worker is exiting anyway
+                        self._shed(delivery)
+                        return
+                    self._shed(victim)
+        self.metrics.component(delivery.target).record_queue_depth(q.qsize())
 
     def _done_one(self) -> None:
         with self._cond:
@@ -301,8 +368,23 @@ class ThreadedExecutor(_ExecutorBase):
                     self._cond.wait(timeout=remaining or _POLL_INTERVAL)
         finally:
             self._stop.set()
-            for key in self._queues:
-                self._queues[key].put(None)
+            # Deliver the stop sentinel without ever blocking: a full queue
+            # at shutdown (e.g. after a fail-fast abort with queue_size=1)
+            # used to deadlock the blocking put(None) here forever.  Drain
+            # stale deliveries to make room instead — the run is over, so
+            # they are accounted as shed.
+            for key, q in self._queues.items():
+                while True:
+                    try:
+                        q.put_nowait(None)
+                        break
+                    except queue.Full:
+                        try:
+                            stale = q.get_nowait()
+                        except queue.Empty:
+                            continue  # consumer raced us; retry the put
+                        if stale is not None:
+                            self._shed(stale)
             for thread in bolt_threads:
                 thread.join(timeout=1.0)
             self._shutdown()

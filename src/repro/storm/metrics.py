@@ -3,32 +3,72 @@
 Tracks the numbers the paper quotes for its production deployment —
 throughput (tuples/s), processing latency, failure counts — per component
 and per worker, so the scalability benchmarks can report tuples/s as a
-function of parallelism.
+function of parallelism.  :class:`LatencyStats` keeps a bounded sample
+buffer alongside its streaming mean/max so tail latency (p50/p95/p99 —
+the paper reports "latency of milliseconds" at peak load) is available to
+the overload tests, and :class:`ComponentMetrics` counts shed tuples and
+observed queue depth for the executor backpressure policies.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass, field
 
 
 @dataclass
 class LatencyStats:
-    """Streaming summary of a latency series (seconds)."""
+    """Streaming summary of a latency series (seconds).
+
+    Keeps every sample up to ``sample_limit`` for percentile queries;
+    ``count``/``total``/``max`` remain exact beyond the limit, percentiles
+    then describe the first ``sample_limit`` observations.
+    """
 
     count: int = 0
     total: float = 0.0
     max: float = 0.0
+    sample_limit: int = 65_536
+    _samples: list[float] = field(default_factory=list, repr=False)
 
     def record(self, seconds: float) -> None:
         self.count += 1
         self.total += seconds
         if seconds > self.max:
             self.max = seconds
+        if len(self._samples) < self.sample_limit:
+            self._samples.append(seconds)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the retained samples; 0.0 when empty.
+
+        ``q`` is in [0, 100].  Deterministic (no interpolation), so tests
+        can assert exact values from known sample sets.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
 
 
 @dataclass
@@ -40,6 +80,9 @@ class ComponentMetrics:
     processed: int = 0
     failed: int = 0
     restarts: int = 0
+    shed: int = 0
+    queue_depth: int = 0
+    max_queue_depth: int = 0
     latency: LatencyStats = field(default_factory=LatencyStats)
     per_worker_processed: dict[int, int] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -63,6 +106,18 @@ class ComponentMetrics:
     def record_restart(self) -> None:
         with self._lock:
             self.restarts += 1
+
+    def record_shed(self, count: int = 1) -> None:
+        """Count tuples dropped by a backpressure shed policy."""
+        with self._lock:
+            self.shed += count
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Record an observed inbound queue depth (gauge + high-water)."""
+        with self._lock:
+            self.queue_depth = depth
+            if depth > self.max_queue_depth:
+                self.max_queue_depth = depth
 
 
 class TopologyMetrics:
@@ -89,8 +144,12 @@ class TopologyMetrics:
                 "processed": metrics.processed,
                 "failed": metrics.failed,
                 "restarts": metrics.restarts,
+                "shed": metrics.shed,
+                "queue_depth": metrics.queue_depth,
+                "max_queue_depth": metrics.max_queue_depth,
                 "mean_latency_s": metrics.latency.mean,
                 "max_latency_s": metrics.latency.max,
+                "p99_latency_s": metrics.latency.p99,
             }
         return out
 
@@ -98,3 +157,8 @@ class TopologyMetrics:
     def total_processed(self) -> int:
         with self._lock:
             return sum(m.processed for m in self._components.values())
+
+    @property
+    def total_shed(self) -> int:
+        with self._lock:
+            return sum(m.shed for m in self._components.values())

@@ -35,19 +35,24 @@ from ..core.simtable import SimilarVideoTable
 from ..core.variants import COMBINE_MODEL, ModelVariant
 from ..data.schema import User, UserAction, Video
 from ..kvstore import KVStore, ShardedKVStore
+from ..reliability.deadletter import DeadLetterStore
 from ..storm import Topology, TopologyBuilder
 from .bolts import (
+    SANITIZED_STREAM,
     ComputeMFBolt,
     GetItemPairsBolt,
     ItemPairSimBolt,
     MFStorageBolt,
     ResultStorageBolt,
+    SanitizeBolt,
     UserHistoryBolt,
 )
 from .spout import ActionSpout, SharedSource
 
-#: Component names, matching Figure 2.
+#: Component names, matching Figure 2 (plus the optional ingest-hygiene
+#: stage in front of the three processing lines).
 SPOUT = "spout"
+SANITIZE = "sanitize"
 USER_HISTORY = "user_history"
 COMPUTE_MF = "compute_mf"
 MF_STORAGE = "mf_storage"
@@ -66,6 +71,22 @@ DEFAULT_PARALLELISM: Mapping[str, int] = {
 }
 
 
+@dataclass(frozen=True, slots=True)
+class IngestConfig:
+    """Configuration of the :class:`~repro.topology.bolts.SanitizeBolt`
+    ingest-hygiene stage.
+
+    ``parallelism`` defaults to 1 so the dedup window and watermark are a
+    single consistent view of the stream; raise it only if approximate
+    (per-worker) dedup is acceptable.
+    """
+
+    dedup_window_seconds: float = 3600.0
+    max_lateness_seconds: float = 86_400.0
+    dedup_max_keys: int = 65_536
+    parallelism: int = 1
+
+
 @dataclass
 class RecommendationSystem:
     """Handles to the shared state behind a running topology."""
@@ -76,6 +97,7 @@ class RecommendationSystem:
     config: ReproConfig = field(default_factory=ReproConfig)
     variant: ModelVariant = COMBINE_MODEL
     clock: Clock = field(default_factory=SystemClock)
+    dead_letters: DeadLetterStore | None = None
 
     def __post_init__(self) -> None:
         self.model = MFModel(self.config.mf, store=self.store)
@@ -119,6 +141,8 @@ def build_recommendation_topology(
     clock: Clock | None = None,
     store: KVStore | None = None,
     parallelism: Mapping[str, int] | None = None,
+    ingest: IngestConfig | None = None,
+    dead_letters: DeadLetterStore | None = None,
 ) -> tuple[Topology, RecommendationSystem]:
     """Assemble the paper's topology over a shared KV store.
 
@@ -127,6 +151,14 @@ def build_recommendation_topology(
     :class:`~repro.storm.ThreadedExecutor`) and the
     :class:`RecommendationSystem` handles for inspecting state and serving
     requests.
+
+    With ``ingest`` set, a :class:`~repro.topology.bolts.SanitizeBolt`
+    stage is inserted between the spout and the three processing lines:
+    the spout forwards raw input untouched, and the sanitizer parses it,
+    drops duplicates/late/malformed tuples into the system's
+    :class:`~repro.reliability.deadletter.DeadLetterStore`
+    (``system.dead_letters``; pass ``dead_letters`` to share one), and
+    emits only clean actions downstream.
     """
     system = RecommendationSystem(
         store=store if store is not None else ShardedKVStore(),
@@ -135,6 +167,13 @@ def build_recommendation_topology(
         config=config or ReproConfig(),
         variant=variant,
         clock=clock or SystemClock(),
+        # NB: an empty DeadLetterStore is falsy (it has __len__), so this
+        # must be an identity check, not `dead_letters or DeadLetterStore()`.
+        dead_letters=(
+            (dead_letters if dead_letters is not None else DeadLetterStore())
+            if ingest is not None
+            else None
+        ),
     )
     workers = dict(DEFAULT_PARALLELISM)
     workers.update(parallelism or {})
@@ -142,13 +181,30 @@ def build_recommendation_topology(
     builder = TopologyBuilder()
     shared_source = SharedSource(source)
     builder.set_spout(
-        SPOUT, lambda: ActionSpout(shared_source), parallelism=workers[SPOUT]
+        SPOUT,
+        lambda: ActionSpout(shared_source, parse=ingest is None),
+        parallelism=workers[SPOUT],
     )
+    if ingest is not None:
+        dlq = system.dead_letters
+        builder.set_bolt(
+            SANITIZE,
+            lambda: SanitizeBolt(
+                dlq,
+                dedup_window_seconds=ingest.dedup_window_seconds,
+                max_lateness_seconds=ingest.max_lateness_seconds,
+                dedup_max_keys=ingest.dedup_max_keys,
+            ),
+            parallelism=workers.get(SANITIZE, ingest.parallelism),
+        ).shuffle_grouping(SPOUT)
+        action_source, action_stream = SANITIZE, SANITIZED_STREAM
+    else:
+        action_source, action_stream = SPOUT, "default"
     builder.set_bolt(
         USER_HISTORY,
         lambda: UserHistoryBolt(system.history),
         parallelism=workers[USER_HISTORY],
-    ).fields_grouping(SPOUT, ["user"])
+    ).fields_grouping(action_source, ["user"], stream=action_stream)
     builder.set_bolt(
         COMPUTE_MF,
         lambda: ComputeMFBolt(
@@ -159,7 +215,7 @@ def build_recommendation_topology(
             online=system.config.online,
         ),
         parallelism=workers[COMPUTE_MF],
-    ).fields_grouping(SPOUT, ["user"])
+    ).fields_grouping(action_source, ["user"], stream=action_stream)
     mf_storage = builder.set_bolt(
         MF_STORAGE,
         lambda: MFStorageBolt(system.model),
@@ -171,7 +227,7 @@ def build_recommendation_topology(
         GET_ITEM_PAIRS,
         lambda: GetItemPairsBolt(system.history),
         parallelism=workers[GET_ITEM_PAIRS],
-    ).fields_grouping(SPOUT, ["user"])
+    ).fields_grouping(action_source, ["user"], stream=action_stream)
     builder.set_bolt(
         ITEM_PAIR_SIM,
         lambda: ItemPairSimBolt(system.table),

@@ -1,0 +1,183 @@
+"""Circuit-breaker state machine tests, including the KV-shard wrapper.
+
+The breaker transitions are driven entirely by recorded outcomes and an
+injected clock, so every test here is deterministic: closed -> open after
+the configured consecutive-failure threshold, open -> half-open after the
+reset timeout, half-open -> closed on probe success / -> open on probe
+failure.
+"""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.errors import CircuitOpenError, TransientKVError
+from repro.kvstore import BreakerKVStore, InMemoryKVStore
+from repro.reliability import BreakerState, CircuitBreaker, FlakyKVStore
+
+
+def _breaker(clock, **kwargs):
+    defaults = dict(failure_threshold=3, reset_timeout=10.0, clock=clock)
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = _breaker(VirtualClock(0.0))
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = _breaker(VirtualClock(0.0))
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.opened_count == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = _breaker(VirtualClock(0.0))
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_to_half_open_after_reset_timeout(self):
+        clock = VirtualClock(0.0)
+        breaker = _breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.999)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.001)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_probe_budget(self):
+        clock = VirtualClock(0.0)
+        breaker = _breaker(clock, half_open_max_probes=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # the single probe
+        assert not breaker.allow()  # budget spent, fail fast
+        assert breaker.fast_failures >= 1
+
+    def test_half_open_success_closes(self):
+        clock = VirtualClock(0.0)
+        breaker = _breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_failure_reopens_and_restarts_timeout(self):
+        clock = VirtualClock(0.0)
+        breaker = _breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_count == 2
+        clock.advance(9.0)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(1.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_call_fails_fast_when_open(self):
+        breaker = _breaker(VirtualClock(0.0), failure_threshold=1)
+        with pytest.raises(RuntimeError):
+            breaker.call(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        calls = []
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: calls.append(1))
+        assert calls == []  # the backend was never invoked while open
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0.0)
+
+
+class TestBreakerKVStore:
+    """Full cycle against scripted FlakyKVStore faults."""
+
+    def _stack(self, clock, error_every=0):
+        inner = InMemoryKVStore()
+        flaky = FlakyKVStore(inner, error_every=error_every)
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout=5.0, clock=clock, name="kv"
+        )
+        return inner, flaky, BreakerKVStore(flaky, breaker)
+
+    def test_closed_open_half_open_closed_cycle(self):
+        clock = VirtualClock(0.0)
+        inner, flaky, store = self._stack(clock)
+        store.put("k", 1)
+        assert store.get("k") == 1
+        assert store.breaker.state is BreakerState.CLOSED
+
+        # Script exactly three consecutive shard faults -> breaker opens.
+        flaky.fail_next(3)
+        for _ in range(3):
+            with pytest.raises(TransientKVError):
+                store.get("k")
+        assert store.breaker.state is BreakerState.OPEN
+
+        # While open: fail fast without touching the (now healthy) shard.
+        ops_before = flaky._ops
+        with pytest.raises(CircuitOpenError):
+            store.get("k")
+        assert flaky._ops == ops_before
+
+        # After the reset timeout a probe goes through and closes it.
+        clock.advance(5.0)
+        assert store.get("k") == 1
+        assert store.breaker.state is BreakerState.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = VirtualClock(0.0)
+        _, flaky, store = self._stack(clock)
+        store.put("k", 1)
+        flaky.fail_next(3)
+        for _ in range(3):
+            with pytest.raises(TransientKVError):
+                store.get("k")
+        clock.advance(5.0)
+        flaky.fail_next(1)  # the probe itself fails
+        with pytest.raises(TransientKVError):
+            store.get("k")
+        assert store.breaker.state is BreakerState.OPEN
+
+    def test_logical_outcomes_do_not_trip_the_breaker(self):
+        from repro.errors import KeyNotFound
+
+        clock = VirtualClock(0.0)
+        _, _, store = self._stack(clock)
+        for _ in range(10):
+            with pytest.raises(KeyNotFound):
+                store.get_strict("missing")
+        assert store.breaker.state is BreakerState.CLOSED
+
+    def test_metadata_bypasses_the_breaker(self):
+        clock = VirtualClock(0.0)
+        _, flaky, store = self._stack(clock)
+        store.put("k", 1)
+        flaky.fail_next(3)
+        for _ in range(3):
+            with pytest.raises(TransientKVError):
+                store.put("k", 2)
+        assert store.breaker.state is BreakerState.OPEN
+        # Recovery/checkpoint paths keep working while the breaker is open.
+        assert "k" in store
+        assert len(store) == 1
+        assert store.version("k") >= 1
+        assert list(store.keys()) == ["k"]

@@ -1,0 +1,276 @@
+"""Ingest hygiene: SanitizeBolt, dead-letter queue, chaos dedup equivalence."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.data.schema import ActionType, UserAction
+from repro.reliability import (
+    REASON_DUPLICATE,
+    REASON_LATE,
+    REASON_MALFORMED,
+    DeadLetterStore,
+    FaultPlan,
+    wrap_topology,
+)
+from repro.storm import Collector, LocalExecutor, StreamTuple
+from repro.topology import (
+    SANITIZE,
+    SANITIZED_STREAM,
+    IngestConfig,
+    SanitizeBolt,
+    build_recommendation_topology,
+)
+
+
+def _action(ts, user="u1", video="v1", kind=ActionType.PLAY, view=0.0):
+    return UserAction(
+        timestamp=ts, user_id=user, video_id=video, action=kind, view_time=view
+    )
+
+
+def _process(bolt, payload):
+    collector = Collector()
+    bolt.process(StreamTuple({"raw": payload}), collector)
+    return collector.drain()
+
+
+class TestSanitizeBolt:
+    def test_clean_actions_pass_through_on_the_actions_stream(self):
+        bolt = SanitizeBolt(DeadLetterStore())
+        out = _process(bolt, _action(10.0))
+        assert len(out) == 1
+        assert out[0].stream == SANITIZED_STREAM
+        assert out[0]["user"] == "u1" and out[0]["video"] == "v1"
+        assert bolt.accepted == 1
+
+    def test_raw_log_lines_are_parsed(self):
+        bolt = SanitizeBolt(DeadLetterStore())
+        out = _process(bolt, _action(10.0).to_log_line())
+        assert len(out) == 1
+        assert out[0]["action"].user_id == "u1"
+
+    def test_malformed_line_goes_to_dlq_with_reason(self):
+        dlq = DeadLetterStore()
+        bolt = SanitizeBolt(dlq)
+        assert _process(bolt, "not\ta\tvalid\tline") == []
+        assert _process(bolt, "nonsense") == []
+        assert dlq.counts() == {REASON_MALFORMED: 2}
+        assert bolt.rejected == 2
+
+    def test_duplicate_within_window_goes_to_dlq(self):
+        dlq = DeadLetterStore()
+        bolt = SanitizeBolt(dlq, dedup_window_seconds=100.0)
+        assert len(_process(bolt, _action(10.0))) == 1
+        assert _process(bolt, _action(10.0)) == []  # identical event
+        assert dlq.counts() == {REASON_DUPLICATE: 1}
+        record = dlq.records(REASON_DUPLICATE)[0]
+        assert record.payload.user_id == "u1"
+
+    def test_same_event_outside_window_is_not_a_duplicate(self):
+        dlq = DeadLetterStore()
+        bolt = SanitizeBolt(dlq, dedup_window_seconds=50.0)
+        first = _action(10.0)
+        assert len(_process(bolt, first)) == 1
+        # Advance the watermark far enough that the key is evicted...
+        assert len(_process(bolt, _action(100.0, video="v2"))) == 1
+        # ...then the "same" event is allowed through again (but is now
+        # late-checked against the watermark, so keep lateness ample).
+        bolt.max_lateness_seconds = 1000.0
+        assert len(_process(bolt, first)) == 1
+        assert dlq.counts() == {}
+
+    def test_distinct_events_are_not_deduplicated(self):
+        bolt = SanitizeBolt(DeadLetterStore())
+        assert len(_process(bolt, _action(10.0))) == 1
+        assert len(_process(bolt, _action(10.0, video="v2"))) == 1
+        assert len(_process(bolt, _action(10.5))) == 1
+        assert bolt.accepted == 3
+
+    def test_too_late_event_goes_to_dlq(self):
+        dlq = DeadLetterStore()
+        bolt = SanitizeBolt(dlq, max_lateness_seconds=60.0)
+        assert len(_process(bolt, _action(1000.0))) == 1  # watermark=1000
+        assert len(_process(bolt, _action(950.0, video="v2"))) == 1  # in bound
+        assert _process(bolt, _action(939.0, video="v3")) == []  # 61s late
+        assert dlq.counts() == {REASON_LATE: 1}
+        assert "behind the watermark" in dlq.records(REASON_LATE)[0].detail
+
+    def test_late_events_never_move_the_watermark_backwards(self):
+        bolt = SanitizeBolt(DeadLetterStore(), max_lateness_seconds=60.0)
+        _process(bolt, _action(1000.0))
+        _process(bolt, _action(950.0, video="v2"))
+        assert bolt.watermark == 1000.0
+
+    def test_dedup_memory_is_bounded_by_max_keys(self):
+        bolt = SanitizeBolt(
+            DeadLetterStore(),
+            dedup_window_seconds=1e9,
+            dedup_max_keys=10,
+        )
+        for i in range(100):
+            _process(bolt, _action(float(i), video=f"v{i}"))
+        assert len(bolt._seen) <= 10
+
+
+class TestDeadLetterStore:
+    def test_bounded_and_evicts_oldest(self):
+        dlq = DeadLetterStore(max_records=3, clock=VirtualClock(5.0))
+        for i in range(5):
+            dlq.add(REASON_MALFORMED, f"line{i}")
+        assert len(dlq) == 3
+        assert [r.payload for r in dlq.records()] == ["line2", "line3", "line4"]
+        assert dlq.records()[0].recorded_at == 5.0
+
+    def test_replay_drains_selected_reasons(self):
+        dlq = DeadLetterStore()
+        dlq.add(REASON_MALFORMED, "bad")
+        dlq.add(REASON_LATE, _action(1.0))
+        dlq.add(REASON_LATE, _action(2.0))
+        replayed = []
+        count = dlq.replay(replayed.append, reasons=[REASON_LATE])
+        assert count == 2
+        assert [a.timestamp for a in replayed] == [1.0, 2.0]
+        # Non-selected records stay queued.
+        assert dlq.counts() == {REASON_MALFORMED: 1}
+
+    def test_replay_failure_keeps_unhandled_records(self):
+        dlq = DeadLetterStore()
+        for i in range(3):
+            dlq.add(REASON_LATE, i)
+
+        def explode_on_1(payload):
+            if payload == 1:
+                raise RuntimeError("handler broke")
+
+        with pytest.raises(RuntimeError):
+            dlq.replay(explode_on_1)
+        # 0 was handled; 1 (failed) and 2 (unreached) remain.
+        assert [r.payload for r in dlq.records()] == [1, 2]
+
+    def test_jsonl_disk_mirror(self, tmp_path):
+        path = tmp_path / "dlq" / "dead_letters.jsonl"
+        dlq = DeadLetterStore(path=path, clock=VirtualClock(7.0))
+        dlq.add(REASON_MALFORMED, "garbage line", detail="parse error")
+        dlq.add(REASON_DUPLICATE, _action(3.0))
+        rows = DeadLetterStore.load_jsonl(path)
+        assert len(rows) == 2
+        assert rows[0]["reason"] == REASON_MALFORMED
+        assert rows[0]["payload"] == "garbage line"
+        assert rows[1]["reason"] == REASON_DUPLICATE
+        assert rows[1]["recorded_at"] == 7.0
+
+
+def _top_n(system, video="v1", n=5):
+    return [v for v, _ in system.table.neighbors(video, k=n)]
+
+
+class TestPipelineIntegration:
+    def _world(self, small_world, small_actions):
+        return small_world.videos, list(small_actions[:400])
+
+    def test_caller_supplied_empty_dlq_is_used_not_replaced(self, small_world):
+        """Regression: an empty DeadLetterStore is falsy (__len__), so the
+        wiring must check identity, not truthiness."""
+        dlq = DeadLetterStore()
+        _, system = build_recommendation_topology(
+            [], small_world.videos, ingest=IngestConfig(), dead_letters=dlq
+        )
+        assert system.dead_letters is dlq
+
+    def test_sanitized_topology_trains_like_a_clean_one(
+        self, small_world, small_actions
+    ):
+        videos, actions = self._world(small_world, small_actions)
+        clock = VirtualClock(actions[-1].timestamp + 1)
+
+        plain_topo, plain = build_recommendation_topology(
+            actions, videos, clock=clock
+        )
+        LocalExecutor(plain_topo).run()
+
+        sane_topo, sane = build_recommendation_topology(
+            actions, videos, clock=clock, ingest=IngestConfig()
+        )
+        assert SANITIZE in sane_topo.components
+        LocalExecutor(sane_topo).run()
+
+        assert len(sane.dead_letters) == 0  # clean stream: nothing rejected
+        for video in list(videos)[:10]:
+            assert _top_n(sane, video) == _top_n(plain, video)
+
+    def test_bad_tuples_are_excluded_from_model_and_land_in_dlq(
+        self, small_world, small_actions
+    ):
+        videos, actions = self._world(small_world, small_actions)
+        clock = VirtualClock(actions[-1].timestamp + 1)
+
+        clean_topo, clean = build_recommendation_topology(
+            actions, videos, clock=clock, ingest=IngestConfig()
+        )
+        LocalExecutor(clean_topo).run()
+
+        # Pollute the stream: exact duplicates, a hopelessly late replay,
+        # and malformed garbage, interleaved with the clean actions.
+        polluted = []
+        n_dupes = n_malformed = 0
+        for i, action in enumerate(actions):
+            polluted.append(action)
+            if i % 10 == 0:
+                polluted.append(action)  # duplicate
+                n_dupes += 1
+            if i % 25 == 0:
+                polluted.append("corrupt\tgarbage")
+                n_malformed += 1
+        stale = UserAction(
+            timestamp=actions[0].timestamp - 10 * 86400.0,
+            user_id="u_stale",
+            video_id=actions[0].video_id,
+            action=ActionType.PLAY,
+        )
+        polluted.append(stale)
+
+        dirty_topo, dirty = build_recommendation_topology(
+            polluted,
+            videos,
+            clock=clock,
+            ingest=IngestConfig(max_lateness_seconds=7 * 86400.0),
+        )
+        LocalExecutor(dirty_topo).run()
+
+        counts = dirty.dead_letters.counts()
+        assert counts[REASON_DUPLICATE] == n_dupes
+        assert counts[REASON_MALFORMED] == n_malformed
+        assert counts[REASON_LATE] == 1
+        # The model never saw the garbage: same top-N as the clean run.
+        for video in list(videos)[:10]:
+            assert _top_n(dirty, video) == _top_n(clean, video)
+        # The stale user contributed nothing.
+        assert "u_stale" not in dirty.history
+
+    def test_chaos_redelivery_produces_same_top_n_as_clean_run(
+        self, small_world, small_actions
+    ):
+        """At-least-once redelivery at the ingest stage is fully absorbed
+        by the dedup window: model state is bit-identical."""
+        videos, actions = self._world(small_world, small_actions)
+        clock = VirtualClock(actions[-1].timestamp + 1)
+
+        clean_topo, clean = build_recommendation_topology(
+            actions, videos, clock=clock, ingest=IngestConfig()
+        )
+        LocalExecutor(clean_topo).run()
+
+        chaos_topo, chaotic = build_recommendation_topology(
+            actions, videos, clock=clock, ingest=IngestConfig()
+        )
+        chaos_topo = wrap_topology(
+            chaos_topo,
+            FaultPlan(seed=7, redeliver_rate=0.3),
+            components=[SANITIZE],
+        )
+        LocalExecutor(chaos_topo).run()
+
+        dupes = chaotic.dead_letters.counts().get(REASON_DUPLICATE, 0)
+        assert dupes > 0  # chaos actually injected redeliveries
+        for video in list(videos)[:10]:
+            assert _top_n(chaotic, video) == _top_n(clean, video)
