@@ -1,0 +1,224 @@
+"""Schema-versioned JSON emission for the perf-regression harness.
+
+Every benchmark that participates in the regression harness calls
+:func:`emit_bench` with a flat dict of numeric metrics (p50/p95/p99,
+throughput, ...) and optionally the per-stage span breakdown from a
+:class:`repro.obs.Tracer`.  The document lands at
+``benchmarks/results/BENCH_<name>.json`` where CI archives it, so runs can
+be diffed across commits.
+
+The document schema (``BENCH_SCHEMA_VERSION`` = 1)::
+
+    {
+      "schema_version": 1,
+      "name": "latency",               # [a-z][a-z0-9_]*
+      "smoke": false,                  # REPRO_BENCH_SMOKE reduced scale?
+      "env": {"python": "...", "platform": "..."},
+      "params": {"requests": 2000},    # scalar run parameters
+      "metrics": {"p50_ms": 0.4},      # flat, finite numbers only
+      "spans": {                       # optional per-stage attribution
+        "router.handle": {"count": 10, "self_seconds": ..., "subtree_seconds": ...}
+      }
+    }
+
+:func:`validate_bench_doc` checks a document against that schema with no
+third-party dependency, and the module doubles as a CLI validator::
+
+    python benchmarks/_emit.py --validate benchmarks/results/BENCH_*.json
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import re
+import sys
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Version stamped into every BENCH_*.json document.
+BENCH_SCHEMA_VERSION = 1
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Keys required in every per-stage span entry.
+_SPAN_KEYS = ("count", "self_seconds", "subtree_seconds")
+
+
+def bench_smoke() -> bool:
+    """Whether this run is the reduced-scale CI smoke configuration."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _is_finite_number(value: Any) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def build_bench_doc(
+    name: str,
+    metrics: Mapping[str, float],
+    params: Mapping[str, Any] | None = None,
+    spans: Mapping[str, Mapping[str, float]] | None = None,
+) -> dict:
+    """Assemble (and validate) one benchmark document."""
+    doc: dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "smoke": bench_smoke(),
+        "env": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "params": dict(params or {}),
+        "metrics": dict(metrics),
+    }
+    if spans is not None:
+        doc["spans"] = {
+            stage: {key: stats[key] for key in _SPAN_KEYS}
+            for stage, stats in spans.items()
+        }
+    errors = validate_bench_doc(doc)
+    if errors:
+        raise ValueError(
+            f"refusing to emit invalid bench doc {name!r}: " + "; ".join(errors)
+        )
+    return doc
+
+
+def emit_bench(
+    name: str,
+    metrics: Mapping[str, float],
+    params: Mapping[str, Any] | None = None,
+    spans: Mapping[str, Mapping[str, float]] | None = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` under ``benchmarks/results/``.
+
+    ``metrics`` must be a flat mapping of finite numbers; ``spans`` is the
+    (optional) output of :meth:`repro.obs.Tracer.stage_latencies`.
+    Returns the written path.
+    """
+    doc = build_bench_doc(name, metrics, params=params, spans=spans)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def validate_bench_doc(doc: Any) -> list[str]:
+    """Check one document against the BENCH schema; return the problems.
+
+    An empty list means the document is valid.  Hand-rolled on purpose:
+    the validation must run in CI without any dependency beyond the
+    standard library.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+
+    version = doc.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        errors.append(
+            f"schema_version must be {BENCH_SCHEMA_VERSION}, got {version!r}"
+        )
+
+    name = doc.get("name")
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        errors.append(f"name must match {_NAME_RE.pattern}, got {name!r}")
+
+    if not isinstance(doc.get("smoke"), bool):
+        errors.append("smoke must be a boolean")
+
+    env = doc.get("env")
+    if not isinstance(env, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in env.items()
+    ):
+        errors.append("env must be a string-to-string object")
+
+    params = doc.get("params")
+    if not isinstance(params, dict):
+        errors.append("params must be an object")
+    else:
+        for key, value in params.items():
+            if not isinstance(value, (str, int, float, bool, type(None))):
+                errors.append(f"params[{key!r}] must be a scalar")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        errors.append("metrics must be a non-empty object")
+    else:
+        for key, value in metrics.items():
+            if not isinstance(key, str):
+                errors.append(f"metric name {key!r} must be a string")
+            if not _is_finite_number(value):
+                errors.append(f"metrics[{key!r}] must be a finite number")
+
+    if "spans" in doc:
+        spans = doc["spans"]
+        if not isinstance(spans, dict):
+            errors.append("spans must be an object")
+        else:
+            for stage, stats in spans.items():
+                if not isinstance(stats, dict):
+                    errors.append(f"spans[{stage!r}] must be an object")
+                    continue
+                for key in _SPAN_KEYS:
+                    if key not in stats:
+                        errors.append(f"spans[{stage!r}] missing {key!r}")
+                    elif not _is_finite_number(stats[key]):
+                        errors.append(
+                            f"spans[{stage!r}][{key!r}] must be a finite number"
+                        )
+
+    unknown = set(doc) - {
+        "schema_version",
+        "name",
+        "smoke",
+        "env",
+        "params",
+        "metrics",
+        "spans",
+    }
+    if unknown:
+        errors.append(f"unknown top-level keys: {sorted(unknown)}")
+    return errors
+
+
+def _main(argv: list[str]) -> int:
+    if not argv or argv[0] != "--validate" or len(argv) < 2:
+        print(
+            "usage: python benchmarks/_emit.py --validate BENCH_*.json",
+            file=sys.stderr,
+        )
+        return 2
+    failed = 0
+    for raw_path in argv[1:]:
+        path = Path(raw_path)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: UNREADABLE ({exc})")
+            failed += 1
+            continue
+        errors = validate_bench_doc(doc)
+        if errors:
+            failed += 1
+            print(f"{path}: INVALID")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            print(f"{path}: ok ({len(doc['metrics'])} metrics)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main(sys.argv[1:]))

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from _emit import bench_smoke
+
 from repro.clock import VirtualClock
 from repro.config import ReproConfig
 from repro.core import RealtimeRecommender
@@ -18,6 +20,16 @@ PAPER_SEED = 2016
 EXTRA_SEEDS = (7, 99)
 
 
+def smoke_scaled(full: int, smoke: int) -> int:
+    """``smoke`` when REPRO_BENCH_SMOKE is set, else ``full``.
+
+    The CI bench-smoke job runs every harnessed benchmark at reduced
+    scale just to prove the path works and the emitted JSON validates;
+    nightly/full runs use the paper-scale numbers.
+    """
+    return smoke if bench_smoke() else full
+
+
 def variant_config(variant, f: int = 16, init_scale: float = 0.03) -> ReproConfig:
     """The grid-searched configuration for one §6.1.2 variant."""
     eta0, alpha = grid_searched_rates(variant)
@@ -29,10 +41,15 @@ def variant_config(variant, f: int = 16, init_scale: float = 0.03) -> ReproConfi
 
 
 def build_world(seed: int = PAPER_SEED, **overrides) -> SyntheticWorld:
+    if bench_smoke():
+        overrides.setdefault("n_users", 80)
+        overrides.setdefault("n_videos", 100)
     return SyntheticWorld(paper_world_config(seed=seed, **overrides))
 
 
-def train_variant(world, train_actions, variant, enable_demographic=False):
+def train_variant(
+    world, train_actions, variant, enable_demographic=False, obs=None
+):
     """Train one fresh RealtimeRecommender on a stream (single pass)."""
     recommender = RealtimeRecommender(
         world.videos,
@@ -41,6 +58,7 @@ def train_variant(world, train_actions, variant, enable_demographic=False):
         variant=variant,
         clock=VirtualClock(0.0),
         enable_demographic=enable_demographic,
+        obs=obs,
     )
     recommender.observe_stream(train_actions)
     return recommender

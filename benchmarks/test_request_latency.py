@@ -12,13 +12,15 @@ import time
 
 import numpy as np
 
-from repro.clock import VirtualClock
-from repro.core import COMBINE_MODEL
+from repro.serving import RecRequest, RequestRouter
 
-from _helpers import build_world, format_rows, report, train_variant
+from _emit import emit_bench
+from _helpers import format_rows, report, smoke_scaled
 
 
-def test_recommendation_request_latency(benchmark, paper_world, paper_split, trained_variants):
+def test_recommendation_request_latency(
+    benchmark, paper_world, paper_split, trained_variants, obs_trained
+):
     recommender = trained_variants["CombineModel"]
     users = [u for u in list(paper_world.users) if recommender.history.recent(u)]
     now = max(a.timestamp for a in paper_split.train) + 1
@@ -33,7 +35,7 @@ def test_recommendation_request_latency(benchmark, paper_world, paper_split, tra
 
     # Measure a latency distribution explicitly for the report.
     samples = []
-    for user in users[:200]:
+    for user in users[: smoke_scaled(200, 60)]:
         started = time.perf_counter()
         recommender.recommend_ids(user, n=10, now=now)
         samples.append((time.perf_counter() - started) * 1000.0)
@@ -41,7 +43,7 @@ def test_recommendation_request_latency(benchmark, paper_world, paper_split, tra
     # The naive alternative: score every video in the catalogue.
     naive = []
     all_videos = list(paper_world.videos)
-    for user in users[:50]:
+    for user in users[: smoke_scaled(50, 20)]:
         started = time.perf_counter()
         scores = recommender.model.predict_many(user, all_videos)
         np.argsort(-scores)[:10]
@@ -62,6 +64,35 @@ def test_recommendation_request_latency(benchmark, paper_world, paper_split, tra
         },
     ]
     report("request_latency", format_rows(rows))
+
+    # Per-stage latency attribution: route a batch of requests through an
+    # obs-enabled recommender so the tracer can break the end-to-end time
+    # into router -> recommender -> candidate select / MF predict / KV.
+    obs, traced_recommender = obs_trained
+    traced_router = RequestRouter(traced_recommender, obs=obs)
+    traced_users = [
+        u
+        for u in list(paper_world.users)
+        if traced_recommender.history.recent(u)
+    ]
+    for user in traced_users[: smoke_scaled(200, 50)]:
+        traced_router.handle(RecRequest(user_id=user, n=10, timestamp=now))
+    spans = obs.tracer.stage_latencies()
+    assert "router.handle" in spans and "recommender.recommend" in spans
+
+    emit_bench(
+        "latency",
+        metrics={
+            "p50_ms": float(np.percentile(samples, 50)),
+            "p95_ms": float(np.percentile(samples, 95)),
+            "p99_ms": float(np.percentile(samples, 99)),
+            "mean_ms": float(np.mean(samples)),
+            "naive_p50_ms": float(np.percentile(naive, 50)),
+            "naive_p99_ms": float(np.percentile(naive, 99)),
+        },
+        params={"requests_sampled": len(samples), "top_n": 10},
+        spans=spans,
+    )
 
     # Millisecond-class serving, as in production.
     assert np.percentile(samples, 99) < 100.0

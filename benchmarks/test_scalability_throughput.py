@@ -9,6 +9,8 @@ the reproducible *shape* is that adding workers never breaks correctness
 all workers.
 """
 
+import time
+
 import pytest
 
 from repro.clock import VirtualClock
@@ -23,9 +25,10 @@ from repro.topology import (
     build_recommendation_topology,
 )
 
-from _helpers import build_world, format_rows, report
+from _emit import emit_bench
+from _helpers import build_world, format_rows, report, smoke_scaled
 
-N_ACTIONS = 8000
+N_ACTIONS = smoke_scaled(8000, 1500)
 _results: list[dict] = []
 
 
@@ -47,6 +50,8 @@ def test_topology_throughput(benchmark, stream, workers):
         RESULT_STORAGE: workers,
     }
 
+    elapsed = {"seconds": 0.0}
+
     def run():
         topo, system = build_recommendation_topology(
             list(actions),
@@ -55,7 +60,10 @@ def test_topology_throughput(benchmark, stream, workers):
             clock=VirtualClock(0.0),
             parallelism=parallelism,
         )
-        return ThreadedExecutor(topo).run(timeout=300.0)
+        started = time.perf_counter()
+        result = ThreadedExecutor(topo).run(timeout=300.0)
+        elapsed["seconds"] = time.perf_counter() - started
+        return result
 
     metrics = benchmark.pedantic(run, rounds=1, iterations=1)
     snapshot = metrics.snapshot()
@@ -70,14 +78,31 @@ def test_topology_throughput(benchmark, stream, workers):
     per_worker = metrics.component(COMPUTE_MF).per_worker_processed
     assert len(per_worker) == workers
 
+    invocations = int(sum(s["processed"] for s in snapshot.values()))
     _results.append(
         {
             "workers": workers,
             "tuples": N_ACTIONS,
-            "bolt_invocations": int(
-                sum(s["processed"] for s in snapshot.values())
-            ),
+            "bolt_invocations": invocations,
+            "seconds": round(elapsed["seconds"], 3),
+            "tuples_per_s": round(N_ACTIONS / max(elapsed["seconds"], 1e-9), 1),
         }
     )
     if workers == 4:
         report("scalability_throughput", format_rows(_results))
+        emit_bench(
+            "throughput",
+            metrics={
+                **{
+                    f"tuples_per_s_w{row['workers']}": row["tuples_per_s"]
+                    for row in _results
+                },
+                **{
+                    f"bolt_invocations_per_s_w{row['workers']}": round(
+                        row["bolt_invocations"] / max(row["seconds"], 1e-9), 1
+                    )
+                    for row in _results
+                },
+            },
+            params={"tuples": N_ACTIONS, "executor": "threaded"},
+        )

@@ -11,7 +11,10 @@ during the run.
 
 from repro.serving import LoadGenerator, RequestRouter
 
-from _helpers import format_rows, report
+from _emit import emit_bench
+from _helpers import format_rows, report, smoke_scaled
+
+TOTAL_REQUESTS = smoke_scaled(2000, 300)
 
 
 def test_serving_under_load_while_training(
@@ -31,7 +34,7 @@ def test_serving_under_load_while_training(
 
     def run():
         return generator.run(
-            total_requests=2000,
+            total_requests=TOTAL_REQUESTS,
             workers=4,
             now=now,
             training_stream=paper_split.test,
@@ -56,8 +59,20 @@ def test_serving_under_load_while_training(
         ),
     )
 
+    emit_bench(
+        "serving_load",
+        metrics={
+            "qps": float(load.qps),
+            "mean_latency_ms": float(load.mean_latency_ms),
+            "p99_latency_ms": float(load.p99_latency_ms),
+            "errors": load.errors,
+            "actions_trained_during_run": load.trained_actions,
+        },
+        params={"requests": TOTAL_REQUESTS, "workers": 4},
+    )
+
     assert load.errors == 0
-    assert load.requests == 2000
+    assert load.requests == TOTAL_REQUESTS
     # Tens of milliseconds even with the trainer competing for the GIL;
     # without concurrent training the same path serves at <1 ms (see
     # test_request_latency.py).

@@ -14,7 +14,10 @@ described in the paper, plus every substrate it depends on:
 * :mod:`repro.baselines` — Hot / AR / SimHash / ItemCF / BatchMF
   comparators;
 * :mod:`repro.eval` — recall@N, average rank, the offline protocol, grid
-  search and the simulated A/B test.
+  search and the simulated A/B test;
+* :mod:`repro.obs` — the observability layer: one metrics registry,
+  causally-linked trace spans across the topology and the serving path,
+  profiling hooks, and the JSON perf-regression harness.
 
 Quickstart::
 
@@ -57,6 +60,12 @@ from .data import (
     WorldConfig,
 )
 from .errors import ReproError
+from .obs import (
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    profiled,
+)
 
 __version__ = "1.0.0"
 
@@ -89,4 +98,8 @@ __all__ = [
     "CONF_MODEL",
     "COMBINE_MODEL",
     "ALL_VARIANTS",
+    "MetricsRegistry",
+    "Tracer",
+    "Observability",
+    "profiled",
 ]

@@ -11,7 +11,7 @@ with ``r_ui = 0`` (impressions) never update the model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Protocol
+from typing import TYPE_CHECKING, Iterable, Mapping, Protocol
 
 from ..config import OnlineConfig
 from ..data.schema import ActionType, UserAction, Video
@@ -20,6 +20,9 @@ from .actions import ActionWeigher, LogPlaytimeWeigher
 from .feedback import Feedback, extract_feedback
 from .mf import MFModel, MFUpdate
 from .variants import COMBINE_MODEL, ModelVariant
+
+if TYPE_CHECKING:
+    from ..obs import Observability
 
 
 class ActionLog(Protocol):
@@ -65,6 +68,7 @@ class OnlineTrainer:
         variant: ModelVariant = COMBINE_MODEL,
         config: OnlineConfig | None = None,
         wal: ActionLog | None = None,
+        obs: "Observability | None" = None,
     ) -> None:
         self.model = model
         self.videos = videos or {}
@@ -73,6 +77,20 @@ class OnlineTrainer:
         self.config = config or OnlineConfig()
         self.wal = wal
         self.stats = TrainerStats()
+        self._tracer = obs.tracer if obs is not None else None
+        self._actions_counter = (
+            obs.registry.counter(
+                "trainer_actions_total",
+                "Actions processed by the online trainer, by result",
+                labelnames=("result",),
+            )
+            if obs is not None
+            else None
+        )
+
+    def _count(self, result: str) -> None:
+        if self._actions_counter is not None:
+            self._actions_counter.labels(result=result).inc()
 
     def learning_rate(self, confidence: float) -> float:
         """Eq. 8, clamped at ``max_eta`` for stability."""
@@ -100,6 +118,12 @@ class OnlineTrainer:
         state changes, so crash recovery can replay it
         (:mod:`repro.reliability.replay`).
         """
+        if self._tracer is not None and self._tracer.current_span() is not None:
+            with self._tracer.span("trainer.process"):
+                return self._process(action)
+        return self._process(action)
+
+    def _process(self, action: UserAction) -> MFUpdate | None:
         if self.wal is not None:
             self.wal.append(action)
         self.stats.seen += 1
@@ -107,10 +131,12 @@ class OnlineTrainer:
             feedback = self.feedback_for(action)
         except DataError:
             self.stats.skipped_invalid += 1
+            self._count("skipped_invalid")
             return None
         self.model.observe_rating(feedback.rating)
         if not feedback.is_positive:
             self.stats.skipped_zero += 1
+            self._count("skipped_zero")
             return None
         eta = self.learning_rate(feedback.confidence)
         update = self.model.sgd_step(
@@ -118,6 +144,7 @@ class OnlineTrainer:
         )
         self.stats.updated += 1
         self.stats.abs_error_total += abs(update.error)
+        self._count("updated")
         return update
 
     def process_stream(self, actions: Iterable[UserAction]) -> int:

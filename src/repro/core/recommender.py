@@ -21,15 +21,20 @@ implementation too.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from ..clock import Clock, SystemClock
 from ..config import ReproConfig
 from ..data.schema import User, UserAction, Video
 from ..data.stream import ENGAGEMENT_ACTIONS
 from ..kvstore import InMemoryKVStore, KVStore
+from ..obs.kv import InstrumentedKVStore
 from ..storm.metrics import LatencyStats
+
+if TYPE_CHECKING:
+    from ..obs import Observability
 from .actions import ActionWeigher, LogPlaytimeWeigher
 from .candidates import CandidateSelector
 from .demographic import DemographicRecommender, merge_recommendations
@@ -67,13 +72,29 @@ class RealtimeRecommender:
         store: KVStore | None = None,
         enable_demographic: bool = True,
         wal: "ActionLog | None" = None,
+        obs: "Observability | None" = None,
     ) -> None:
         self.videos = videos
         self.users = users or {}
         self.config = config or ReproConfig()
         self.clock = clock or SystemClock()
         self.variant = variant
+        self.obs = obs
         backing = store if store is not None else InMemoryKVStore()
+        if obs is not None and not isinstance(backing, InstrumentedKVStore):
+            backing = obs.instrument_store(backing)
+        self._tracer = obs.tracer if obs is not None else None
+        self._now = (
+            obs.perf_clock.now if obs is not None else time.perf_counter
+        )
+        self._latency_hist = (
+            obs.registry.histogram(
+                "recommender_request_latency_seconds",
+                "Latency of RealtimeRecommender.recommend calls",
+            )
+            if obs is not None
+            else None
+        )
 
         self.model = MFModel(self.config.mf, store=backing)
         self.weigher = weigher or LogPlaytimeWeigher(self.config.weights)
@@ -84,6 +105,7 @@ class RealtimeRecommender:
             variant=variant,
             config=self.config.online,
             wal=wal,
+            obs=obs,
         )
         self.history = UserHistoryStore(store=backing)
         self.table = SimilarVideoTable(
@@ -161,20 +183,45 @@ class RealtimeRecommender:
         now: float | None = None,
     ) -> list[Recommendation]:
         """Generate the real-time top-N list for one request."""
-        started = time.perf_counter()
+        with self._span("recommender.recommend"):
+            return self._recommend(user_id, current_video, n=n, now=now)
+
+    def _span(self, name: str):
+        """A child span when a trace is already active, else a no-op.
+
+        Gated on an ambient span so bulk offline evaluation (which calls
+        :meth:`recommend` thousands of times outside any request) does not
+        flood the tracer.
+        """
+        if self._tracer is not None and self._tracer.current_span() is not None:
+            return self._tracer.span(name)
+        return nullcontext()
+
+    def _recommend(
+        self,
+        user_id: str,
+        current_video: str | None = None,
+        n: int | None = None,
+        now: float | None = None,
+    ) -> list[Recommendation]:
+        started = self._now()
         top_n = n if n is not None else self.config.recommend.top_n
         timestamp = self.clock.now() if now is None else now
 
-        seeds = self.seeds_for(user_id, current_video)
-        exclude: set[str] = set()
-        if self.config.recommend.exclude_watched:
-            exclude = self.history.watched(user_id)
-        candidates = self.selector.select(seeds, exclude=exclude, now=timestamp)
+        with self._span("candidates.select"):
+            seeds = self.seeds_for(user_id, current_video)
+            exclude: set[str] = set()
+            if self.config.recommend.exclude_watched:
+                exclude = self.history.watched(user_id)
+            candidates = self.selector.select(
+                seeds, exclude=exclude, now=timestamp
+            )
 
         ranked: list[Recommendation] = []
         if candidates:
             video_ids = [c.video_id for c in candidates]
-            scores = self.model.predict_many(user_id, video_ids)
+            with self._span("mf.predict"):
+                scores = self.model.predict_many(user_id, video_ids)
             order = sorted(
                 range(len(video_ids)),
                 key=lambda idx: (-scores[idx], video_ids[idx]),
@@ -209,7 +256,10 @@ class RealtimeRecommender:
             Recommendation(vid, score_of.get(vid, 0.0))
             for vid in final_ids[:top_n]
         ]
-        self.request_latency.record(time.perf_counter() - started)
+        elapsed = self._now() - started
+        self.request_latency.record(elapsed)
+        if self._latency_hist is not None:
+            self._latency_hist.observe(elapsed)
         return result
 
     def recommend_ids(

@@ -1,0 +1,117 @@
+"""Observability layer: unified metrics, tracing, and profiling.
+
+The paper's §5–§6 claims are *operational* — linear Storm scalability,
+millisecond end-to-end latency under production traffic — and reproducing
+them requires measuring this system the way Tencent measured theirs.
+:mod:`repro.obs` is that measurement plane:
+
+* :class:`MetricsRegistry` with typed :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` instruments — the shared registry every subsystem
+  (topology metrics, router, trainer, KV stores, breakers) reports into;
+* :class:`Tracer` — causally-linked spans from the spout (or a routed
+  request) through every bolt and KV call, with per-stage latency
+  attribution;
+* :func:`profiled` / :class:`SamplingProfiler` — hot-path timing hooks;
+* :class:`InstrumentedKVStore` — per-op KV metrics and spans;
+* :class:`Observability` — the bundle components accept as one ``obs=``
+  argument.
+
+Everything runs on injected clocks, so observability output is exactly as
+deterministic as the code under observation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..clock import Clock, VirtualClock
+from .kv import InstrumentedKVStore
+from .percentiles import nearest_rank, summarize
+from .profile import FunctionProfiler, SamplingProfiler, profiled
+from .registry import (
+    DEFAULT_BUCKETS,
+    REGISTRY_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import TRACE_SCHEMA_VERSION, Span, SpanContext, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "REGISTRY_SCHEMA_VERSION",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "TRACE_SCHEMA_VERSION",
+    "FunctionProfiler",
+    "SamplingProfiler",
+    "profiled",
+    "InstrumentedKVStore",
+    "Observability",
+    "nearest_rank",
+    "summarize",
+]
+
+
+class _PerfClock:
+    """Monotonic wall clock (``time.perf_counter``) for duration timing."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "_PerfClock()"
+
+
+@dataclass
+class Observability:
+    """One handle bundling the registry, tracer, and profiling hooks.
+
+    Components that support observability take ``obs: Observability |
+    None = None``; passing the same bundle to the executor, the router,
+    and the recommender is what stitches their metrics into one registry
+    document and their spans into shared traces.
+
+    ``perf_clock`` is the clock *durations* are measured on — wall
+    ``perf_counter`` by default, or the same virtual clock as everything
+    else under :meth:`deterministic` (where latencies only advance when
+    the test advances the clock, making golden snapshots exact).
+    """
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(default_factory=Tracer)
+    profiler: FunctionProfiler | None = None
+    perf_clock: Clock = field(default_factory=_PerfClock)
+
+    @classmethod
+    def create(cls, sample_every: int = 1) -> "Observability":
+        """Production-style bundle: wall clocks, optional trace sampling."""
+        return cls(
+            registry=MetricsRegistry(),
+            tracer=Tracer(sample_every=sample_every),
+            profiler=FunctionProfiler(),
+        )
+
+    @classmethod
+    def deterministic(cls, clock: Clock | None = None) -> "Observability":
+        """Fully deterministic bundle on one shared virtual clock."""
+        shared = clock if clock is not None else VirtualClock(0.0)
+        return cls(
+            registry=MetricsRegistry(clock=shared),
+            tracer=Tracer(clock=shared),
+            profiler=FunctionProfiler(clock=shared.now),
+            perf_clock=shared,
+        )
+
+    def instrument_store(self, store):
+        """Wrap a KV store so its ops report into this bundle."""
+        return InstrumentedKVStore(
+            store, registry=self.registry, tracer=self.tracer
+        )

@@ -1,0 +1,119 @@
+"""Observability wrapper for KV stores: op counters, latency, spans.
+
+The paper's serving path is dominated by KV traffic (vectors, histories,
+similar-video lists all live in the "distributed memory-based key-value
+storage", §5.1), so per-op visibility is where latency attribution ends.
+:class:`InstrumentedKVStore` wraps any :class:`~repro.kvstore.KVStore`
+and, per operation, bumps ``kvstore_ops_total{op=...}``, observes
+``kvstore_op_latency_seconds{op=...}``, and — only when the calling thread
+already has an active span, so bulk offline work does not flood the
+tracer — records a ``kv.<op>`` child span.  That makes the
+router→recommender→KV call chain one causally-linked trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from ..kvstore.store import EntrySnapshot, Key, KVStore
+from .registry import MetricsRegistry
+from .trace import Tracer
+
+__all__ = ["InstrumentedKVStore"]
+
+
+class InstrumentedKVStore(KVStore):
+    """Delegating KV store that reports into a registry and a tracer.
+
+    Purely additive: every call forwards to ``inner`` with identical
+    semantics, so it can wrap :class:`~repro.kvstore.InMemoryKVStore`,
+    :class:`~repro.kvstore.ShardedKVStore`, or another wrapper (e.g. a
+    breaker store) without behavioural change.
+    """
+
+    def __init__(
+        self,
+        inner: KVStore,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.inner = inner
+        self._tracer = tracer
+        if registry is not None:
+            self._ops = registry.counter(
+                "kvstore_ops_total",
+                "KV operations by op name",
+                labelnames=("op",),
+            )
+            self._latency = registry.histogram(
+                "kvstore_op_latency_seconds",
+                "KV operation latency by op name",
+                labelnames=("op",),
+            )
+        else:
+            self._ops = None
+            self._latency = None
+
+    def _call(self, op: str, fn: Callable[[], Any]) -> Any:
+        if self._ops is not None:
+            self._ops.labels(op=op).inc()
+        span = None
+        if self._tracer is not None and self._tracer.current_span() is not None:
+            span = self._tracer.start_span(f"kv.{op}")
+        try:
+            if self._latency is not None:
+                with self._latency.labels(op=op).time():
+                    return fn()
+            return fn()
+        finally:
+            if span is not None:
+                span.finish()
+
+    # -- KVStore API -------------------------------------------------------
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        return self._call("get", lambda: self.inner.get(key, default))
+
+    def get_strict(self, key: Key) -> Any:
+        return self._call("get", lambda: self.inner.get_strict(key))
+
+    def put(self, key: Key, value: Any, ttl: float | None = None) -> int:
+        return self._call("put", lambda: self.inner.put(key, value, ttl))
+
+    def delete(self, key: Key) -> bool:
+        return self._call("delete", lambda: self.inner.delete(key))
+
+    def update(
+        self, key: Key, fn: Callable[[Any], Any], default: Any = None
+    ) -> Any:
+        return self._call("update", lambda: self.inner.update(key, fn, default))
+
+    def compare_and_set(
+        self, key: Key, value: Any, expected_version: int
+    ) -> int:
+        return self._call(
+            "cas", lambda: self.inner.compare_and_set(key, value, expected_version)
+        )
+
+    def version(self, key: Key) -> int:
+        return self._call("version", lambda: self.inner.version(key))
+
+    def __contains__(self, key: Key) -> bool:
+        return self._call("contains", lambda: key in self.inner)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def keys(self) -> Iterator[Key]:
+        return self.inner.keys()
+
+    def items(self) -> Iterator[tuple[Key, Any]]:
+        return self.inner.items()
+
+    # -- checkpoint support (exactness preserved) --------------------------
+
+    def snapshot_entries(self) -> list[EntrySnapshot]:
+        return self.inner.snapshot_entries()
+
+    def restore_entries(self, entries: Iterable[EntrySnapshot]) -> int:
+        return self.inner.restore_entries(entries)

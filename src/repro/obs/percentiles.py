@@ -1,0 +1,60 @@
+"""The single percentile codepath shared by every latency summary.
+
+Before this module existed, :class:`~repro.storm.metrics.LatencyStats`
+(topology metrics) and the serving router each computed percentiles over
+their own sample buffers, with subtly divergent rank conventions.  Every
+percentile the system reports — topology stage latency, router p50/p95/p99,
+histogram summaries, bench JSON — now funnels through
+:func:`nearest_rank`, so "p99" means the same thing in every snapshot.
+
+The convention is the *nearest-rank* method on the sorted sample set:
+
+    ``rank = max(1, ceil(q/100 * n))`` → the value at that 1-based rank.
+
+It is deterministic (no interpolation, so tests can assert exact values
+from known samples) and matches numpy's ``inverted_cdf`` method for
+``q > 0``; ``q = 0`` returns the minimum.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["nearest_rank", "summarize"]
+
+
+def nearest_rank(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples``; ``0.0`` when empty.
+
+    ``q`` is in [0, 100].  ``samples`` need not be sorted; sorting happens
+    here, so callers keep their buffers append-only.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def summarize(
+    samples: Sequence[float], quantiles: Sequence[float] = (50.0, 95.0, 99.0)
+) -> dict[str, float]:
+    """Percentile summary dict (``{"p50": ..., ...}``) over one sort.
+
+    The keys drop trailing ``.0`` (``p99`` not ``p99.0``) but keep
+    fractional quantiles distinct (``p99.9``).
+    """
+    if not samples:
+        return {f"p{q:g}": 0.0 for q in quantiles}
+    ordered = sorted(samples)
+    n = len(ordered)
+    out: dict[str, float] = {}
+    for q in quantiles:
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        rank = max(1, math.ceil(q / 100.0 * n))
+        out[f"p{q:g}"] = ordered[rank - 1]
+    return out

@@ -1,0 +1,229 @@
+"""Lightweight profiling hooks: ``@profiled`` and a sampling profiler.
+
+Two complementary views of where topology time goes:
+
+* :func:`profiled` — an explicit instrumentation decorator for known hot
+  paths (the MF update step, top-N scoring).  When no
+  :class:`FunctionProfiler` is active the wrapper is a single global read
+  plus the call — cheap enough to leave on permanently.  Activate one
+  with :meth:`FunctionProfiler.activate` (a context manager) to collect
+  per-function call counts and inclusive wall time.
+* :class:`SamplingProfiler` — a statistical profiler that periodically
+  samples every live thread's stack via ``sys._current_frames()``.  No
+  per-call overhead at all, so it can watch a whole topology run and
+  surface hot frames that nobody thought to decorate.
+
+Both report plain dicts, so bench JSON can embed them.
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+import threading
+import time
+from collections import Counter as _TallyCounter
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, TypeVar
+
+__all__ = ["FunctionProfiler", "SamplingProfiler", "profiled"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: The process-wide active profiler ``@profiled`` wrappers report into.
+_active_profiler: "FunctionProfiler | None" = None
+
+
+class FunctionProfiler:
+    """Collects call counts and inclusive time for ``@profiled`` functions."""
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._now = clock or time.perf_counter
+        self._lock = threading.Lock()
+        self._calls: dict[str, int] = {}
+        self._seconds: dict[str, float] = {}
+
+    def record(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._calls[name] = self._calls.get(name, 0) + 1
+            self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        """``{name: {calls, total_seconds, mean_seconds}}`` snapshot."""
+        with self._lock:
+            return {
+                name: {
+                    "calls": self._calls[name],
+                    "total_seconds": self._seconds[name],
+                    "mean_seconds": (
+                        self._seconds[name] / self._calls[name]
+                        if self._calls[name]
+                        else 0.0
+                    ),
+                }
+                for name in sorted(self._calls)
+            }
+
+    def report(self, top: int = 10) -> str:
+        """Human-readable table of the ``top`` costliest functions."""
+        rows = sorted(
+            self.stats().items(),
+            key=lambda kv: -kv[1]["total_seconds"],
+        )[:top]
+        lines = [f"{'function':<48} {'calls':>8} {'total_s':>10} {'mean_us':>10}"]
+        for name, row in rows:
+            lines.append(
+                f"{name:<48} {row['calls']:>8} "
+                f"{row['total_seconds']:>10.4f} "
+                f"{row['mean_seconds'] * 1e6:>10.2f}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._calls.clear()
+            self._seconds.clear()
+
+    @contextmanager
+    def activate(self) -> Iterator["FunctionProfiler"]:
+        """Route ``@profiled`` timings here for the duration of the block."""
+        global _active_profiler
+        previous = _active_profiler
+        _active_profiler = self
+        try:
+            yield self
+        finally:
+            _active_profiler = previous
+
+
+def profiled(fn: F | None = None, *, name: str | None = None) -> F:
+    """Instrument a hot-path function for :class:`FunctionProfiler`.
+
+    Usable bare (``@profiled``) or with a stable display name
+    (``@profiled(name="mf.sgd_step")`` — recommended for methods, so
+    reports stay readable after refactors).  With no active profiler the
+    overhead is one module-global read.
+    """
+
+    def decorate(func: F) -> F:
+        label = name or f"{func.__module__}.{func.__qualname__}"
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            profiler = _active_profiler
+            if profiler is None:
+                return func(*args, **kwargs)
+            started = profiler._now()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                profiler.record(label, profiler._now() - started)
+
+        wrapper.__profiled_name__ = label  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    if fn is not None:
+        return decorate(fn)
+    return decorate  # type: ignore[return-value]
+
+
+class SamplingProfiler:
+    """Statistical whole-process profiler over ``sys._current_frames()``.
+
+    A daemon thread wakes every ``interval`` seconds and tallies, for
+    every live thread, the innermost application frame (and its full
+    stack if ``keep_stacks``).  Zero cost on the code under measurement;
+    resolution is bounded by ``interval`` — this is a *topology-level*
+    tool for "where does the run spend its time", not a microbenchmark.
+
+    Use as a context manager around an executor run::
+
+        with SamplingProfiler(interval=0.005) as prof:
+            ThreadedExecutor(topology).run()
+        print(prof.report())
+    """
+
+    def __init__(
+        self, interval: float = 0.005, keep_stacks: bool = False
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self.keep_stacks = keep_stacks
+        self.samples = 0
+        self._frames: _TallyCounter[str] = _TallyCounter()
+        self._stacks: _TallyCounter[tuple[str, ...]] = _TallyCounter()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @staticmethod
+    def _frame_label(frame) -> str:
+        code = frame.f_code
+        return f"{code.co_name} ({code.co_filename.rsplit('/', 1)[-1]}:{frame.f_lineno})"
+
+    def _sample_once(self) -> None:
+        own = threading.get_ident()
+        frames = sys._current_frames()
+        with self._lock:
+            self.samples += 1
+            for thread_id, frame in frames.items():
+                if thread_id == own:
+                    continue
+                self._frames[self._frame_label(frame)] += 1
+                if self.keep_stacks:
+                    stack: list[str] = []
+                    cursor = frame
+                    while cursor is not None and len(stack) < 64:
+                        stack.append(self._frame_label(cursor))
+                        cursor = cursor.f_back
+                    self._stacks[tuple(reversed(stack))] += 1
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._sample_once()
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-sampling-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def hot_frames(self, top: int = 10) -> list[tuple[str, int]]:
+        """The ``top`` most-sampled frames as ``(label, samples)`` pairs."""
+        with self._lock:
+            return self._frames.most_common(top)
+
+    def stats(self) -> dict[str, float]:
+        """Fraction of samples per frame (bench-JSON friendly)."""
+        with self._lock:
+            total = max(1, self.samples)
+            return {
+                label: count / total
+                for label, count in self._frames.most_common()
+            }
+
+    def report(self, top: int = 10) -> str:
+        rows = self.hot_frames(top)
+        total = max(1, self.samples)
+        lines = [f"{'frame':<64} {'samples':>8} {'share':>7}"]
+        for label, count in rows:
+            lines.append(f"{label:<64} {count:>8} {count / total:>6.1%}")
+        return "\n".join(lines)

@@ -29,10 +29,13 @@ from __future__ import annotations
 import enum
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..clock import Clock, SystemClock
 from ..errors import CircuitOpenError
+
+if TYPE_CHECKING:
+    from ..obs import MetricsRegistry
 
 
 class TokenBucket:
@@ -150,9 +153,19 @@ class AdmissionController:
         burst: float | None = None,
         max_concurrency: int | None = None,
         clock: Clock | None = None,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         if rate is None and max_concurrency is None:
             raise ValueError("need at least one of rate / max_concurrency")
+        self._decisions = (
+            registry.counter(
+                "admission_decisions_total",
+                "Admission control outcomes, by decision",
+                labelnames=("decision",),
+            )
+            if registry is not None
+            else None
+        )
         self._bucket = (
             TokenBucket(rate, capacity=burst, clock=clock)
             if rate is not None
@@ -173,14 +186,21 @@ class AdmissionController:
         if self._bucket is not None and not self._bucket.try_acquire():
             with self._lock:
                 self.shed_rate += 1
+            self._count("shed_rate")
             return AdmissionDecision(False, SHED_RATE)
         if self._limiter is not None and not self._limiter.try_acquire():
             with self._lock:
                 self.shed_concurrency += 1
+            self._count("shed_concurrency")
             return AdmissionDecision(False, SHED_CONCURRENCY)
         with self._lock:
             self.admitted += 1
+        self._count("admitted")
         return AdmissionDecision(True)
+
+    def _count(self, decision: str) -> None:
+        if self._decisions is not None:
+            self._decisions.labels(decision=decision).inc()
 
     def release(self) -> None:
         """Return the concurrency slot of an admitted request."""
@@ -226,6 +246,7 @@ class CircuitBreaker:
         half_open_max_probes: int = 1,
         clock: Clock | None = None,
         name: str = "breaker",
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -249,6 +270,35 @@ class CircuitBreaker:
         self._probes = 0
         self.opened_count = 0
         self.fast_failures = 0
+        if registry is not None:
+            self._transitions = registry.counter(
+                "breaker_transitions_total",
+                "Circuit breaker state transitions, by breaker and new state",
+                labelnames=("name", "to"),
+            )
+            self._state_gauge = registry.gauge(
+                "breaker_state",
+                "Current breaker state (0=closed, 1=half_open, 2=open)",
+                labelnames=("name",),
+            )
+            self._state_gauge.labels(name=name).set(0)
+        else:
+            self._transitions = None
+            self._state_gauge = None
+
+    #: Numeric encoding of breaker states for the ``breaker_state`` gauge.
+    _STATE_VALUES = {
+        BreakerState.CLOSED: 0,
+        BreakerState.HALF_OPEN: 1,
+        BreakerState.OPEN: 2,
+    }
+
+    def _record_transition_locked(self, to: BreakerState) -> None:
+        if self._transitions is not None:
+            self._transitions.labels(name=self.name, to=to.value).inc()
+            self._state_gauge.labels(name=self.name).set(
+                self._STATE_VALUES[to]
+            )
 
     @property
     def state(self) -> BreakerState:
@@ -264,6 +314,7 @@ class CircuitBreaker:
             self._state = BreakerState.HALF_OPEN
             self._probes = 0
             self._consecutive_successes = 0
+            self._record_transition_locked(BreakerState.HALF_OPEN)
 
     def _open_locked(self) -> None:
         self._state = BreakerState.OPEN
@@ -271,6 +322,7 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._consecutive_successes = 0
         self.opened_count += 1
+        self._record_transition_locked(BreakerState.OPEN)
 
     def allow(self) -> bool:
         """Whether a call may proceed right now (counts half-open probes)."""
@@ -293,6 +345,7 @@ class CircuitBreaker:
                 if self._consecutive_successes >= self.success_threshold:
                     self._state = BreakerState.CLOSED
                     self._consecutive_successes = 0
+                    self._record_transition_locked(BreakerState.CLOSED)
             elif self._state is BreakerState.OPEN:
                 # A straggler from before the trip finished; ignore.
                 pass

@@ -41,6 +41,7 @@ from ..clock import Clock
 from ..storm.metrics import LatencyStats
 
 if TYPE_CHECKING:  # avoid serving <-> reliability import at module load
+    from ..obs import Observability
     from ..reliability.overload import AdmissionController, CircuitBreaker
 
 
@@ -192,14 +193,47 @@ class RequestRouter:
         admission: "AdmissionController | None" = None,
         breaker: "CircuitBreaker | None" = None,
         clock: Clock | None = None,
+        obs: "Observability | None" = None,
     ) -> None:
         self.recommender = recommender
         self.fallback = fallback
         self.admission = admission
         self.breaker = breaker
-        self._clock = clock or _PerfClock()
+        if clock is None:
+            clock = obs.perf_clock if obs is not None else _PerfClock()
+        self._clock = clock
         self._stats = {scenario: ScenarioStats() for scenario in Scenario}
         self._lock = threading.Lock()
+        self._tracer = obs.tracer if obs is not None else None
+        if obs is not None:
+            self._requests_counter = obs.registry.counter(
+                "serving_requests_total",
+                "Requests handled by the router, by scenario and outcome",
+                labelnames=("scenario", "outcome"),
+            )
+            self._latency_hist = obs.registry.histogram(
+                "serving_request_latency_seconds",
+                "End-to-end router latency for served requests",
+                labelnames=("scenario",),
+            )
+        else:
+            self._requests_counter = None
+            self._latency_hist = None
+
+    def _observe_response(self, response: RecResponse) -> None:
+        """Mirror one response into the registry instruments."""
+        if self._requests_counter is None:
+            return
+        scenario = response.request.scenario.value
+        self._requests_counter.labels(
+            scenario=scenario, outcome=response.outcome.value
+        ).inc()
+        # Match ScenarioStats: only *served* requests contribute latency,
+        # so sheds/deadline misses cannot flatter the distribution.
+        if not response.shed and not response.deadline_exceeded:
+            self._latency_hist.labels(scenario=scenario).observe(
+                response.latency_seconds
+            )
 
     def _serve(self, backend, request: RecRequest) -> tuple[str, ...]:
         return tuple(
@@ -233,6 +267,19 @@ class RequestRouter:
 
     def handle(self, request: RecRequest) -> RecResponse:
         """Serve one request; never raises."""
+        if self._tracer is None:
+            response = self._handle(request)
+        else:
+            # Each request roots its own trace; the recommender and KV
+            # spans underneath parent to it via the ambient span stack.
+            with self._tracer.span("router.handle", parent=None) as span:
+                span.set_attribute("scenario", request.scenario.value)
+                response = self._handle(request)
+                span.set_attribute("outcome", response.outcome.value)
+        self._observe_response(response)
+        return response
+
+    def _handle(self, request: RecRequest) -> RecResponse:
         started = self._clock.now()
         if self.admission is not None:
             decision = self.admission.try_admit()

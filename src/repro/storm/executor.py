@@ -39,6 +39,7 @@ from .topology import Bolt, Collector, ComponentContext, Spout, Topology
 from .tuples import StreamTuple
 
 if TYPE_CHECKING:  # imported lazily to avoid a storm <-> reliability cycle
+    from ..obs import Observability
     from ..reliability.supervisor import Supervisor
 
 _POLL_INTERVAL = 0.001
@@ -61,11 +62,19 @@ class _ExecutorBase:
         topology: Topology,
         fail_fast: bool = True,
         supervisor: "Supervisor | None" = None,
+        obs: "Observability | None" = None,
     ) -> None:
         self.topology = topology
         self.fail_fast = fail_fast
         self.supervisor = supervisor
-        self.metrics = TopologyMetrics()
+        self.obs = obs
+        self.metrics = TopologyMetrics(
+            registry=obs.registry if obs is not None else None
+        )
+        self._tracer = obs.tracer if obs is not None else None
+        # Durations are measured on the bundle's perf clock so a
+        # deterministic Observability yields deterministic latencies.
+        self._now = obs.perf_clock.now if obs is not None else time.perf_counter
         self._spout_workers: list[tuple[str, int, Spout]] = []
         self._bolt_workers: dict[tuple[str, int], Bolt] = {}
         self._opened = False
@@ -125,11 +134,25 @@ class _ExecutorBase:
         """
         bolt = self._bolt_workers[(delivery.target, delivery.worker)]
         component = self.metrics.component(delivery.target)
+        tracer = self._tracer
+        span = None
+        if tracer is not None and delivery.tup.trace is not None:
+            # Consume the deferred-child slot the upstream span reserved
+            # for this delivery; emissions below reserve slots in turn.
+            span = tracer.start_deferred(
+                f"bolt:{delivery.target}", parent=delivery.tup.trace
+            )
         while True:
             collector = Collector()
-            started = time.perf_counter()
+            if span is not None:
+                collector.trace = span.context
+            started = self._now()
             try:
-                bolt.process(delivery.tup, collector)
+                if span is not None:
+                    with tracer.activate(span):
+                        bolt.process(delivery.tup, collector)
+                else:
+                    bolt.process(delivery.tup, collector)
                 break
             except Exception as exc:  # noqa: BLE001 - isolation boundary
                 component.record_failure()
@@ -138,14 +161,20 @@ class _ExecutorBase:
                 ):
                     bolt = self._restart_bolt(delivery.target, delivery.worker)
                     continue
+                if span is not None:
+                    span.finish(error=f"{type(exc).__name__}: {exc}")
                 if self.fail_fast:
                     raise ComponentError(delivery.target, exc) from exc
                 return []
-        component.record_processed(delivery.worker, time.perf_counter() - started)
+        component.record_processed(delivery.worker, self._now() - started)
         out: list[_Delivery] = []
         for emitted in collector.drain():
             component.record_emit()
             out.extend(self._route(delivery.target, emitted))
+        if span is not None:
+            for _ in out:
+                tracer.defer_child(span)
+            span.finish()
         return out
 
 
@@ -175,7 +204,17 @@ class LocalExecutor(_ExecutorBase):
                 live.append((name, worker, spout))
                 consumed += 1
                 self.metrics.component(name).record_emit()
-                self._drain(self._route(name, tup))
+                root = None
+                if self._tracer is not None:
+                    root = self._tracer.start_span(f"spout:{name}", parent=None)
+                    if root.context.sampled:
+                        tup = tup.with_trace(root.context)
+                deliveries = self._route(name, tup)
+                if root is not None:
+                    for _ in deliveries:
+                        self._tracer.defer_child(root)
+                    root.finish()
+                self._drain(deliveries)
             return self.metrics
         finally:
             self._shutdown()
@@ -222,8 +261,11 @@ class ThreadedExecutor(_ExecutorBase):
         queue_size: int = 10_000,
         supervisor: "Supervisor | None" = None,
         queue_policy: str = "block",
+        obs: "Observability | None" = None,
     ) -> None:
-        super().__init__(topology, fail_fast=fail_fast, supervisor=supervisor)
+        super().__init__(
+            topology, fail_fast=fail_fast, supervisor=supervisor, obs=obs
+        )
         if queue_policy not in QUEUE_POLICIES:
             raise ValueError(
                 f"queue_policy must be one of {QUEUE_POLICIES}, got {queue_policy!r}"
@@ -239,6 +281,9 @@ class ThreadedExecutor(_ExecutorBase):
     def _shed(self, delivery: _Delivery) -> None:
         """Account one dropped delivery: shed counter + in-flight release."""
         self.metrics.component(delivery.target).record_shed()
+        if self._tracer is not None and delivery.tup.trace is not None:
+            # Release the deferred slot so the upstream span can complete.
+            self._tracer.cancel_deferred(delivery.tup.trace)
         self._done_one()
 
     def _enqueue(self, delivery: _Delivery) -> None:
@@ -290,13 +335,26 @@ class ThreadedExecutor(_ExecutorBase):
 
     def _spout_loop(self, name: str, spout: Spout) -> None:
         component = self.metrics.component(name)
+        tracer = self._tracer
         try:
             while not self._stop.is_set():
                 tup = spout.next_tuple()
                 if tup is None:
                     return
                 component.record_emit()
-                for delivery in self._route(name, tup):
+                root = None
+                if tracer is not None:
+                    root = tracer.start_span(f"spout:{name}", parent=None)
+                    if root.context.sampled:
+                        tup = tup.with_trace(root.context)
+                deliveries = self._route(name, tup)
+                if root is not None:
+                    # Reserve every slot before any enqueue so a fast
+                    # consumer cannot complete the root prematurely.
+                    for _ in deliveries:
+                        tracer.defer_child(root)
+                    root.finish()
+                for delivery in deliveries:
                     self._enqueue(delivery)
         except Exception as exc:  # noqa: BLE001 - isolate spout failures
             component.record_failure()

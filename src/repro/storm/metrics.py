@@ -12,9 +12,11 @@ observed queue depth for the executor backpressure policies.
 
 from __future__ import annotations
 
-import math
 import threading
 from dataclasses import dataclass, field
+
+from ..obs.percentiles import nearest_rank
+from ..obs.registry import MetricsRegistry
 
 
 @dataclass
@@ -48,15 +50,11 @@ class LatencyStats:
         """Nearest-rank percentile of the retained samples; 0.0 when empty.
 
         ``q`` is in [0, 100].  Deterministic (no interpolation), so tests
-        can assert exact values from known sample sets.
+        can assert exact values from known sample sets.  Delegates to the
+        shared :func:`repro.obs.percentiles.nearest_rank` codepath — the
+        same convention every other latency summary in the system uses.
         """
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {q}")
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-        return ordered[rank - 1]
+        return nearest_rank(self._samples, q)
 
     @property
     def p50(self) -> float:
@@ -69,6 +67,72 @@ class LatencyStats:
     @property
     def p99(self) -> float:
         return self.percentile(99.0)
+
+
+class _ComponentInstruments:
+    """Bound registry series mirroring one component's counters.
+
+    Created when a :class:`TopologyMetrics` is backed by a shared
+    :class:`~repro.obs.MetricsRegistry`; each ``record_*`` call then
+    updates both the local dataclass fields (the historical API the
+    tests and benchmarks read) and the registry series, so one
+    ``registry.to_json()`` captures the topology alongside every other
+    subsystem.
+    """
+
+    __slots__ = (
+        "emitted",
+        "processed",
+        "failed",
+        "restarts",
+        "shed",
+        "queue_depth",
+        "max_queue_depth",
+        "latency",
+    )
+
+    def __init__(self, registry: MetricsRegistry, component: str) -> None:
+        label = {"component": component}
+        self.emitted = registry.counter(
+            "storm_tuples_emitted_total",
+            "Tuples emitted by each topology component",
+            labelnames=("component",),
+        ).labels(**label)
+        self.processed = registry.counter(
+            "storm_tuples_processed_total",
+            "Bolt invocations completed per component",
+            labelnames=("component",),
+        ).labels(**label)
+        self.failed = registry.counter(
+            "storm_tuple_failures_total",
+            "Bolt invocations that raised, per component",
+            labelnames=("component",),
+        ).labels(**label)
+        self.restarts = registry.counter(
+            "storm_worker_restarts_total",
+            "Supervised worker restarts per component",
+            labelnames=("component",),
+        ).labels(**label)
+        self.shed = registry.counter(
+            "storm_tuples_shed_total",
+            "Tuples dropped by backpressure shed policies",
+            labelnames=("component",),
+        ).labels(**label)
+        self.queue_depth = registry.gauge(
+            "storm_queue_depth",
+            "Inbound queue depth sampled at enqueue",
+            labelnames=("component",),
+        ).labels(**label)
+        self.max_queue_depth = registry.gauge(
+            "storm_queue_depth_high_water",
+            "High-water inbound queue depth",
+            labelnames=("component",),
+        ).labels(**label)
+        self.latency = registry.histogram(
+            "storm_process_latency_seconds",
+            "Per-invocation bolt processing latency",
+            labelnames=("component",),
+        ).labels(**label)
 
 
 @dataclass
@@ -85,11 +149,14 @@ class ComponentMetrics:
     max_queue_depth: int = 0
     latency: LatencyStats = field(default_factory=LatencyStats)
     per_worker_processed: dict[int, int] = field(default_factory=dict)
+    instruments: _ComponentInstruments | None = field(default=None, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_emit(self, count: int = 1) -> None:
         with self._lock:
             self.emitted += count
+        if self.instruments is not None:
+            self.instruments.emitted.inc(count)
 
     def record_processed(self, worker: int, seconds: float) -> None:
         with self._lock:
@@ -98,19 +165,28 @@ class ComponentMetrics:
             self.per_worker_processed[worker] = (
                 self.per_worker_processed.get(worker, 0) + 1
             )
+        if self.instruments is not None:
+            self.instruments.processed.inc()
+            self.instruments.latency.observe(seconds)
 
     def record_failure(self) -> None:
         with self._lock:
             self.failed += 1
+        if self.instruments is not None:
+            self.instruments.failed.inc()
 
     def record_restart(self) -> None:
         with self._lock:
             self.restarts += 1
+        if self.instruments is not None:
+            self.instruments.restarts.inc()
 
     def record_shed(self, count: int = 1) -> None:
         """Count tuples dropped by a backpressure shed policy."""
         with self._lock:
             self.shed += count
+        if self.instruments is not None:
+            self.instruments.shed.inc(count)
 
     def record_queue_depth(self, depth: int) -> None:
         """Record an observed inbound queue depth (gauge + high-water)."""
@@ -118,19 +194,36 @@ class ComponentMetrics:
             self.queue_depth = depth
             if depth > self.max_queue_depth:
                 self.max_queue_depth = depth
+            high_water = self.max_queue_depth
+        if self.instruments is not None:
+            self.instruments.queue_depth.set(depth)
+            self.instruments.max_queue_depth.set(high_water)
 
 
 class TopologyMetrics:
-    """Registry of :class:`ComponentMetrics`, one per topology component."""
+    """Registry of :class:`ComponentMetrics`, one per topology component.
 
-    def __init__(self) -> None:
+    With ``registry`` set, every component's counters are mirrored into
+    that shared :class:`~repro.obs.MetricsRegistry` under the
+    ``storm_*`` metric names, labelled by component.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry
         self._components: dict[str, ComponentMetrics] = {}
         self._lock = threading.Lock()
 
     def component(self, name: str) -> ComponentMetrics:
         with self._lock:
             if name not in self._components:
-                self._components[name] = ComponentMetrics(name)
+                instruments = (
+                    _ComponentInstruments(self.registry, name)
+                    if self.registry is not None
+                    else None
+                )
+                self._components[name] = ComponentMetrics(
+                    name, instruments=instruments
+                )
             return self._components[name]
 
     def snapshot(self) -> dict[str, dict[str, float]]:

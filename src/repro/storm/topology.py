@@ -43,11 +43,14 @@ class Collector:
 
     def __init__(self) -> None:
         self.emitted: list[StreamTuple] = []
+        # Trace metadata stamped onto every emitted tuple (set by the
+        # executor before each spout/bolt invocation when tracing is on).
+        self.trace: Any = None
 
     def emit(
         self, values: Mapping[str, Any], stream: str = DEFAULT_STREAM
     ) -> StreamTuple:
-        tup = StreamTuple(values, stream=stream)
+        tup = StreamTuple(values, stream=stream, trace=self.trace)
         self.emitted.append(tup)
         return tup
 

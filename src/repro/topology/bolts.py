@@ -20,7 +20,7 @@ in the KV store, exactly as in the production design.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from ..config import OnlineConfig
 from ..core.actions import ActionWeigher, LogPlaytimeWeigher
@@ -39,6 +39,9 @@ from ..reliability.deadletter import (
     DeadLetterStore,
 )
 from ..storm import Bolt, Collector, StreamTuple
+
+if TYPE_CHECKING:
+    from ..obs import Tracer
 
 #: Stream names used between the bolts.
 USER_VEC_STREAM = "user_vec"
@@ -171,12 +174,14 @@ class ComputeMFBolt(Bolt):
         weigher: ActionWeigher | None = None,
         variant: ModelVariant = COMBINE_MODEL,
         online: OnlineConfig | None = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.model = model
         self.videos = videos
         self.weigher = weigher or LogPlaytimeWeigher()
         self.variant = variant
         self.online = online or OnlineConfig()
+        self.tracer = tracer
 
     def process(self, tup: StreamTuple, collector: Collector) -> None:
         action: UserAction = tup["action"]
@@ -192,6 +197,13 @@ class ComputeMFBolt(Bolt):
         self.model.observe_rating(feedback.rating)
         if not feedback.is_positive:
             return
+        if self.tracer is not None and self.tracer.current_span() is not None:
+            with self.tracer.span("trainer.update"):
+                self._update(action, feedback, collector)
+        else:
+            self._update(action, feedback, collector)
+
+    def _update(self, action, feedback, collector: Collector) -> None:
         if self.variant.adjustable:
             eta = self.online.eta0 + self.online.alpha * feedback.confidence
         else:

@@ -23,7 +23,7 @@ learned so far.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from ..clock import Clock, SystemClock
 from ..config import ReproConfig
@@ -48,6 +48,9 @@ from .bolts import (
     UserHistoryBolt,
 )
 from .spout import ActionSpout, SharedSource
+
+if TYPE_CHECKING:
+    from ..obs import Observability
 
 #: Component names, matching Figure 2 (plus the optional ingest-hygiene
 #: stage in front of the three processing lines).
@@ -98,6 +101,7 @@ class RecommendationSystem:
     variant: ModelVariant = COMBINE_MODEL
     clock: Clock = field(default_factory=SystemClock)
     dead_letters: DeadLetterStore | None = None
+    obs: "Observability | None" = None
 
     def __post_init__(self) -> None:
         self.model = MFModel(self.config.mf, store=self.store)
@@ -129,6 +133,7 @@ class RecommendationSystem:
             clock=self.clock,
             store=self.store,
             enable_demographic=enable_demographic,
+            obs=self.obs,
         )
 
 
@@ -143,6 +148,7 @@ def build_recommendation_topology(
     parallelism: Mapping[str, int] | None = None,
     ingest: IngestConfig | None = None,
     dead_letters: DeadLetterStore | None = None,
+    obs: "Observability | None" = None,
 ) -> tuple[Topology, RecommendationSystem]:
     """Assemble the paper's topology over a shared KV store.
 
@@ -160,8 +166,13 @@ def build_recommendation_topology(
     (``system.dead_letters``; pass ``dead_letters`` to share one), and
     emits only clean actions downstream.
     """
+    backing = store if store is not None else ShardedKVStore()
+    if obs is not None:
+        # One instrumented store feeds both the topology bolts and the
+        # serving recommender built over the same state.
+        backing = obs.instrument_store(backing)
     system = RecommendationSystem(
-        store=store if store is not None else ShardedKVStore(),
+        store=backing,
         videos=videos,
         users=users or {},
         config=config or ReproConfig(),
@@ -174,6 +185,7 @@ def build_recommendation_topology(
             if ingest is not None
             else None
         ),
+        obs=obs,
     )
     workers = dict(DEFAULT_PARALLELISM)
     workers.update(parallelism or {})
@@ -213,6 +225,7 @@ def build_recommendation_topology(
             weigher=system.weigher,
             variant=system.variant,
             online=system.config.online,
+            tracer=obs.tracer if obs is not None else None,
         ),
         parallelism=workers[COMPUTE_MF],
     ).fields_grouping(action_source, ["user"], stream=action_stream)

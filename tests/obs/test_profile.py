@@ -1,0 +1,140 @@
+"""Profiling hooks: ``@profiled`` wrappers and the sampling profiler."""
+
+import time
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.core.mf import MFModel
+from repro.obs import FunctionProfiler, SamplingProfiler, profiled
+
+
+def test_profiled_without_active_profiler_is_a_plain_call():
+    calls = []
+
+    @profiled
+    def work(x):
+        calls.append(x)
+        return x * 2
+
+    assert work(21) == 42
+    assert calls == [21]
+    # Nothing was recorded anywhere.
+    prof = FunctionProfiler()
+    assert prof.stats() == {}
+
+
+def test_profiled_records_into_the_active_profiler():
+    clock = VirtualClock(0.0)
+    prof = FunctionProfiler(clock=clock.now)
+
+    @profiled(name="test.work")
+    def work():
+        clock.advance(0.5)
+
+    with prof.activate():
+        work()
+        work()
+    work()  # outside the active block: not recorded
+
+    stats = prof.stats()
+    assert stats == {
+        "test.work": {
+            "calls": 2,
+            "total_seconds": 1.0,
+            "mean_seconds": 0.5,
+        }
+    }
+    assert "test.work" in prof.report()
+
+
+def test_profiled_default_label_and_explicit_name():
+    @profiled
+    def plain():
+        pass
+
+    assert plain.__profiled_name__.endswith("plain")
+
+    @profiled(name="custom.label")
+    def named():
+        pass
+
+    assert named.__profiled_name__ == "custom.label"
+
+
+def test_mf_hot_paths_are_instrumented():
+    """The paper's two hot paths carry stable profiling labels."""
+    assert MFModel.predict_many.__profiled_name__ == "mf.predict_many"
+    assert MFModel.compute_update.__profiled_name__ == "mf.compute_update"
+
+
+def test_activate_nests_and_restores():
+    outer = FunctionProfiler()
+    inner = FunctionProfiler()
+
+    @profiled(name="test.nested")
+    def work():
+        pass
+
+    with outer.activate():
+        with inner.activate():
+            work()
+        work()
+    assert inner.stats()["test.nested"]["calls"] == 1
+    assert outer.stats()["test.nested"]["calls"] == 1
+
+
+def test_exceptions_are_still_recorded():
+    prof = FunctionProfiler(clock=VirtualClock(0.0).now)
+
+    @profiled(name="test.boom")
+    def boom():
+        raise RuntimeError("boom")
+
+    with prof.activate():
+        with pytest.raises(RuntimeError):
+            boom()
+    assert prof.stats()["test.boom"]["calls"] == 1
+
+
+def test_reset_clears_collected_stats():
+    prof = FunctionProfiler()
+
+    @profiled(name="test.reset")
+    def work():
+        pass
+
+    with prof.activate():
+        work()
+    assert prof.stats()
+    prof.reset()
+    assert prof.stats() == {}
+
+
+def test_sampling_profiler_sees_a_busy_function():
+    def busy(deadline):
+        total = 0
+        while time.perf_counter() < deadline:
+            total += sum(range(200))
+        return total
+
+    with SamplingProfiler(interval=0.001) as prof:
+        busy(time.perf_counter() + 0.2)
+    assert prof.samples > 0
+    frames = prof.hot_frames()
+    assert frames, "expected at least one sampled frame"
+    assert any("busy" in label or "test_profile" in label for label, _ in frames)
+    shares = prof.stats()
+    assert all(0.0 < share <= 1.0 for share in shares.values())
+    assert "frame" in prof.report()
+
+
+def test_sampling_profiler_rejects_bad_interval_and_double_start():
+    with pytest.raises(ValueError):
+        SamplingProfiler(interval=0.0)
+    prof = SamplingProfiler(interval=0.01).start()
+    try:
+        with pytest.raises(RuntimeError):
+            prof.start()
+    finally:
+        prof.stop()

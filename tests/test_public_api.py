@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.eval",
     "repro.serving",
     "repro.reliability",
+    "repro.obs",
 ]
 
 
