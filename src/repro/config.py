@@ -74,17 +74,35 @@ class MFConfig:
     production range), ``lam`` the L2 regularization strength of Eq. 3, and
     ``init_scale`` the standard deviation used to initialise new user/video
     vectors in Algorithm 1.
+
+    ``backend`` selects where the factors live (DESIGN.md "Model storage
+    backends & batching"):
+
+    * ``"arena"`` (default) — entity ids are interned into contiguous
+      ``(N, f)`` factor arenas stored as two KV entries, so batch reads
+      are gathers and ``predict_many`` is one matmul;
+    * ``"kv"`` — one KV entry per vector/bias, the paper's
+      distributed-storage layout where every parameter is individually
+      addressable by key (§5.1).
+
+    Both backends produce identical predictions; a store written by one
+    is migrated on model construction by the other.
     """
 
     f: int = 16
     lam: float = 0.01
     init_scale: float = 0.03
     seed: int = 7
+    backend: str = "arena"
 
     def __post_init__(self) -> None:
         _require(self.f >= 1, "latent dimensionality f must be >= 1")
         _require(self.lam >= 0, "regularization lambda must be >= 0")
         _require(self.init_scale > 0, "init_scale must be positive")
+        _require(
+            self.backend in ("arena", "kv"),
+            f"backend must be 'arena' or 'kv', got {self.backend!r}",
+        )
 
 
 @dataclass(frozen=True, slots=True)

@@ -52,8 +52,11 @@ class CandidateSelector:
         excluded = set(exclude or ())
         excluded.update(seeds)
         best: dict[str, Candidate] = {}
-        for seed in seeds[: cfg.max_seeds]:
-            for video_id, similarity in self.table.neighbors(seed, now=now):
+        used = seeds[: cfg.max_seeds]
+        for seed, ranked_list in zip(
+            used, self.table.neighbors_many(used, now=now)
+        ):
+            for video_id, similarity in ranked_list:
                 if video_id in excluded:
                     continue
                 current = best.get(video_id)

@@ -8,9 +8,25 @@ the user is not currently watching anything (§6.2).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..data.schema import UserAction
 from ..data.stream import ENGAGEMENT_ACTIONS
 from ..kvstore import InMemoryKVStore, KVStore, Namespace
+
+
+@dataclass(frozen=True, slots=True)
+class HistorySnapshot:
+    """One consistent read of a user's history.
+
+    ``recent`` is newest-first;  ``watched`` is the same videos as a set.
+    Serving reads both per request — taking them from one store get keeps
+    them mutually consistent and halves the read traffic.
+    """
+
+    recent: list[str]
+    watched: frozenset[str]
+    last_active: float | None
 
 
 class UserHistoryStore:
@@ -60,6 +76,16 @@ class UserHistoryStore:
         """Timestamp of the user's most recent recorded engagement."""
         entries = self._store.get(user_id, [])
         return entries[0][1] if entries else None
+
+    def snapshot(self, user_id: str, k: int | None = None) -> HistorySnapshot:
+        """Recent list, watched set and last-active from a single get."""
+        entries = self._store.get(user_id, [])
+        selected = entries if k is None else entries[:k]
+        return HistorySnapshot(
+            recent=[video_id for video_id, _ in selected],
+            watched=frozenset(video_id for video_id, _ in entries),
+            last_active=entries[0][1] if entries else None,
+        )
 
     def __contains__(self, user_id: str) -> bool:
         return user_id in self._store

@@ -10,6 +10,21 @@ squared error (Eq. 3).  Parameters live in a :class:`~repro.kvstore.KVStore`
 addressable by key from any worker, and so the Figure 2 topology can split
 *computing* an update (``ComputeMF``) from *storing* it (``MFStorage``).
 
+Two parameter layouts sit behind one model API (DESIGN.md "Model storage
+backends & batching"):
+
+* ``backend="kv"`` — one store entry per vector/bias under the ``mf:x`` /
+  ``mf:y`` / ``mf:bu`` / ``mf:bi`` namespaces, the paper's
+  distributed-storage layout;
+* ``backend="arena"`` (default) — per-kind
+  :class:`~repro.core.arena.FactorArena` objects stored as single entries
+  under ``mf:meta``, so batch reads are contiguous gathers and
+  :meth:`MFModel.predict_many` is one matmul.
+
+Both layouts hold identical float64 values, so predictions are identical;
+constructing a model over a store written by the other backend migrates
+the layout in place (see :meth:`MFModel._migrate_layout`).
+
 Two deliberate deviations from the paper's text, both documented in
 DESIGN.md:
 
@@ -28,6 +43,7 @@ DESIGN.md:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -36,6 +52,9 @@ from ..errors import ModelError
 from ..hashing import stable_hash
 from ..kvstore import InMemoryKVStore, KVStore, Namespace
 from ..obs.profile import profiled
+from .arena import FactorArena
+
+_KINDS = ("user", "video")
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,12 +76,381 @@ class MFUpdate:
     eta: float
 
 
+class _KVParams:
+    """Per-entity-key parameter layout (the paper's distributed storage).
+
+    Every vector and bias is its own store entry, addressable by key from
+    any worker.  Batch reads go through the store's ``mget`` so a sharded
+    backing pays one call per shard, not one per key.
+    """
+
+    _VEC_PREFIX = {"user": "mf:x", "video": "mf:y"}
+    _BIAS_PREFIX = {"user": "mf:bu", "video": "mf:bi"}
+
+    def __init__(self, store: KVStore, f: int) -> None:
+        self._f = f
+        self._vec = {
+            kind: Namespace(store, self._VEC_PREFIX[kind]) for kind in _KINDS
+        }
+        self._bias = {
+            kind: Namespace(store, self._BIAS_PREFIX[kind]) for kind in _KINDS
+        }
+
+    # -- scalar access ----------------------------------------------------
+
+    def vector(self, kind: str, entity_id: str) -> np.ndarray | None:
+        return self._vec[kind].get(entity_id)
+
+    def bias(self, kind: str, entity_id: str) -> float:
+        return self._bias[kind].get(entity_id, 0.0)
+
+    def has(self, kind: str, entity_id: str) -> bool:
+        return entity_id in self._vec[kind]
+
+    def count(self, kind: str) -> int:
+        return len(self._vec[kind])
+
+    def ids(self, kind: str) -> list[str]:
+        return list(self._vec[kind].keys())
+
+    def setdefault_vector(
+        self, kind: str, entity_id: str, factory: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        return self._vec[kind].setdefault(entity_id, factory)
+
+    def put(
+        self, kind: str, entity_id: str, vector: np.ndarray, bias: float
+    ) -> None:
+        self._vec[kind].put(entity_id, vector)
+        self._bias[kind].put(entity_id, bias)
+
+    # -- batch access -----------------------------------------------------
+
+    def vectors_many(
+        self, kind: str, entity_ids: Sequence[str]
+    ) -> list[np.ndarray | None]:
+        return self._vec[kind].mget(list(entity_ids))
+
+    def vectors_matrix(self, kind: str, entity_ids: Sequence[str]) -> np.ndarray:
+        values = self._vec[kind].mget(list(entity_ids))
+        if not values:
+            return np.zeros((0, self._f), dtype=np.float64)
+        zero = None
+        rows = []
+        for value in values:
+            if value is None:
+                if zero is None:
+                    zero = np.zeros(self._f, dtype=np.float64)
+                value = zero
+            rows.append(value)
+        return np.array(rows, dtype=np.float64)
+
+    def biases_array(self, kind: str, entity_ids: Sequence[str]) -> np.ndarray:
+        return np.array(
+            self._bias[kind].mget(list(entity_ids), 0.0), dtype=np.float64
+        )
+
+    def put_many(
+        self, kind: str, items: Sequence[tuple[str, np.ndarray, float]]
+    ) -> None:
+        self._vec[kind].mput([(eid, vec) for eid, vec, _ in items])
+        self._bias[kind].mput([(eid, bias) for eid, _, bias in items])
+
+    # -- bulk export / import (save, load, migration) ---------------------
+
+    def export(self, kind: str) -> tuple[list[str], np.ndarray, np.ndarray]:
+        ids = sorted(self._vec[kind].keys())
+        if not ids:
+            return [], np.zeros((0, self._f)), np.zeros(0)
+        vectors = np.stack(self._vec[kind].mget(ids))
+        biases = np.array(self._bias[kind].mget(ids, 0.0), dtype=np.float64)
+        return ids, vectors, biases
+
+    def bias_only_ids(self, kind: str) -> list[str]:
+        """Ids with a bias entry but no vector (possible in this layout)."""
+        return [
+            entity_id
+            for entity_id in self._bias[kind].keys()
+            if entity_id not in self._vec[kind]
+        ]
+
+    def delete(self, kind: str, entity_id: str) -> None:
+        self._vec[kind].delete(entity_id)
+        self._bias[kind].delete(entity_id)
+
+
+class _ArenaParams:
+    """Contiguous-arena parameter layout.
+
+    One :class:`FactorArena` per entity kind, stored as a single entry in
+    the model's meta namespace.  Reads fetch the arena object from the
+    store on every access (never cached on the model), so a checkpoint
+    restored *into the store* — the recovery path constructs the model
+    before restoring — is picked up transparently.  Writes run inside
+    :meth:`KVStore.update` callbacks, so fault injection, metrics and
+    breaker wrappers observe them as ordinary store operations and the
+    entry version advances with every commit.
+    """
+
+    ARENA_KEYS = {"user": "arena:user", "video": "arena:video"}
+
+    def __init__(self, meta: Namespace, f: int) -> None:
+        self._meta = meta
+        self._f = f
+
+    def _arena(self, kind: str) -> FactorArena | None:
+        return self._meta.get(self.ARENA_KEYS[kind])
+
+    def _mutate(self, kind: str, fn: Callable[[FactorArena], None]) -> None:
+        def _apply(arena: FactorArena | None) -> FactorArena:
+            if arena is None:
+                arena = FactorArena(self._f)
+            fn(arena)
+            return arena
+
+        self._meta.update(self.ARENA_KEYS[kind], _apply, default=None)
+
+    # -- scalar access ----------------------------------------------------
+
+    def vector(self, kind: str, entity_id: str) -> np.ndarray | None:
+        arena = self._arena(kind)
+        return None if arena is None else arena.vector(entity_id)
+
+    def bias(self, kind: str, entity_id: str) -> float:
+        arena = self._arena(kind)
+        return 0.0 if arena is None else arena.bias(entity_id)
+
+    def has(self, kind: str, entity_id: str) -> bool:
+        arena = self._arena(kind)
+        return arena is not None and entity_id in arena
+
+    def count(self, kind: str) -> int:
+        arena = self._arena(kind)
+        return 0 if arena is None else len(arena)
+
+    def ids(self, kind: str) -> list[str]:
+        arena = self._arena(kind)
+        return [] if arena is None else arena.ids()
+
+    def setdefault_vector(
+        self, kind: str, entity_id: str, factory: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        result: list[np.ndarray] = []
+
+        def _fn(arena: FactorArena) -> None:
+            result.append(arena.setdefault_vector(entity_id, factory))
+
+        self._mutate(kind, _fn)
+        return result[0]
+
+    def put(
+        self, kind: str, entity_id: str, vector: np.ndarray, bias: float
+    ) -> None:
+        self._mutate(kind, lambda arena: arena.put(entity_id, vector, bias))
+
+    # -- batch access -----------------------------------------------------
+
+    def vectors_many(
+        self, kind: str, entity_ids: Sequence[str]
+    ) -> list[np.ndarray | None]:
+        arena = self._arena(kind)
+        if arena is None:
+            return [None] * len(entity_ids)
+        return arena.vectors_many(list(entity_ids))
+
+    def vectors_matrix(self, kind: str, entity_ids: Sequence[str]) -> np.ndarray:
+        arena = self._arena(kind)
+        if arena is None:
+            return np.zeros((len(entity_ids), self._f), dtype=np.float64)
+        return arena.vectors_matrix(list(entity_ids))
+
+    def biases_array(self, kind: str, entity_ids: Sequence[str]) -> np.ndarray:
+        arena = self._arena(kind)
+        if arena is None:
+            return np.zeros(len(entity_ids), dtype=np.float64)
+        return arena.biases_array(list(entity_ids))
+
+    def put_many(
+        self, kind: str, items: Sequence[tuple[str, np.ndarray, float]]
+    ) -> None:
+        if not items:
+            return
+        self._mutate(kind, lambda arena: arena.put_many(items))
+
+    # -- bulk export / import (save, load, migration) ---------------------
+
+    def export(self, kind: str) -> tuple[list[str], np.ndarray, np.ndarray]:
+        arena = self._arena(kind)
+        if arena is None or not len(arena):
+            return [], np.zeros((0, self._f)), np.zeros(0)
+        ids, vectors, biases, has_vec = arena.export_rows()
+        rows = {entity_id: row for row, entity_id in enumerate(ids)}
+        order = sorted(
+            entity_id for row, entity_id in enumerate(ids) if has_vec[row]
+        )
+        idx = np.array([rows[entity_id] for entity_id in order], dtype=np.int64)
+        return order, vectors[idx], biases[idx]
+
+
+class MFBatchSession:
+    """A read-through overlay for micro-batched SGD.
+
+    Prefetches every touched vector and bias with batch reads, replays
+    :meth:`MFModel.sgd_step` math through the overlay (each step reads the
+    previous step's in-overlay values — exactly what the sequential path
+    reads from the store), and commits all dirty parameters in one batch
+    write plus one atomic ``mu`` fold.  The per-step arithmetic is
+    byte-identical to calling :meth:`MFModel.observe_rating` /
+    :meth:`MFModel.sgd_step` per action; only the number of store
+    operations changes.
+
+    Not thread-safe; one session per worker per batch (the same ownership
+    rule fields grouping gives the bolts).
+    """
+
+    def __init__(
+        self,
+        model: "MFModel",
+        user_ids: Iterable[str] = (),
+        video_ids: Iterable[str] = (),
+    ) -> None:
+        self._model = model
+        self._vectors: dict[tuple[str, str], np.ndarray | None] = {}
+        self._biases: dict[tuple[str, str], float] = {}
+        self._dirty: list[tuple[str, str]] = []
+        self._dirty_set: set[tuple[str, str]] = set()
+        self._prefetch("user", list(dict.fromkeys(user_ids)))
+        self._prefetch("video", list(dict.fromkeys(video_ids)))
+        total, count = model._meta.get("mu", (0.0, 0))
+        self._mu_total = float(total)
+        self._mu_count = int(count)
+        self._mu_ratings: list[float] = []
+
+    def _prefetch(self, kind: str, entity_ids: list[str]) -> None:
+        if not entity_ids:
+            return
+        params = self._model._params
+        vectors = params.vectors_many(kind, entity_ids)
+        biases = params.biases_array(kind, entity_ids)
+        for entity_id, vector, bias in zip(entity_ids, vectors, biases):
+            self._vectors[(kind, entity_id)] = vector
+            self._biases[(kind, entity_id)] = float(bias)
+
+    def _vector(self, kind: str, entity_id: str) -> np.ndarray | None:
+        key = (kind, entity_id)
+        if key not in self._vectors:
+            self._prefetch(kind, [entity_id])
+        return self._vectors[key]
+
+    def _bias(self, kind: str, entity_id: str) -> float:
+        key = (kind, entity_id)
+        if key not in self._biases:
+            self._prefetch(kind, [entity_id])
+        return self._biases[key]
+
+    def _write(
+        self, kind: str, entity_id: str, vector: np.ndarray, bias: float
+    ) -> None:
+        key = (kind, entity_id)
+        self._vectors[key] = vector
+        self._biases[key] = bias
+        if key not in self._dirty_set:
+            self._dirty_set.add(key)
+            self._dirty.append(key)
+
+    @property
+    def mu(self) -> float:
+        return self._mu_total / self._mu_count if self._mu_count else 0.0
+
+    def observe_rating(self, rating: float) -> None:
+        """Overlay twin of :meth:`MFModel.observe_rating` (same fold order)."""
+        self._mu_total += rating
+        self._mu_count += 1
+        self._mu_ratings.append(rating)
+
+    def sgd_step(
+        self, user_id: str, video_id: str, rating: float, eta: float
+    ) -> MFUpdate:
+        """One SGD step through the overlay; identical math to the model's."""
+        if eta <= 0:
+            raise ModelError(f"learning rate must be positive, got {eta}")
+        model = self._model
+        lam = model.config.lam
+        x_u = self._vector("user", user_id)
+        if x_u is None:
+            x_u = model._init_vector("user", user_id)
+        y_i = self._vector("video", video_id)
+        if y_i is None:
+            y_i = model._init_vector("video", video_id)
+        b_u = self._bias("user", user_id)
+        b_i = self._bias("video", video_id)
+        e = rating - (self.mu + b_u + b_i + float(x_u @ y_i))
+        new_b_u = b_u + eta * (e - lam * b_u)
+        new_b_i = b_i + eta * (e - lam * b_i)
+        new_x_u = x_u + eta * (e * y_i - lam * x_u)
+        new_y_i = y_i + eta * (e * x_u - lam * y_i)
+        self._write("user", user_id, new_x_u, new_b_u)
+        self._write("video", video_id, new_y_i, new_b_i)
+        return MFUpdate(
+            user_id=user_id,
+            video_id=video_id,
+            x_u=new_x_u,
+            y_i=new_y_i,
+            b_u=new_b_u,
+            b_i=new_b_i,
+            error=e,
+            eta=eta,
+        )
+
+    def commit(self, params: bool = True) -> None:
+        """Write all dirty parameters and the ``mu`` delta to the store.
+
+        Parameters go out as one batch per kind; ``mu`` is folded with one
+        atomic update that replays the session's ratings in order, so
+        concurrent writers (other workers' commits) are never overwritten
+        and a single-rating batch is exactly the sequential code path.
+
+        ``params=False`` commits only the ``mu`` fold — the ``ComputeMF``
+        bolt's shape, where a downstream single-writer (``MFStorage``)
+        owns parameter persistence and receives the new vectors as tuples.
+        """
+        backend = self._model._params
+        if params:
+            for kind in _KINDS:
+                items = [
+                    (entity_id, self._vectors[(kind, entity_id)], self._biases[(kind, entity_id)])
+                    for k, entity_id in self._dirty
+                    if k == kind
+                ]
+                if items:
+                    backend.put_many(kind, items)
+        if self._mu_ratings:
+            ratings = list(self._mu_ratings)
+
+            def _fold(current: tuple[float, int]) -> tuple[float, int]:
+                total, count = current
+                for rating in ratings:
+                    total = total + rating
+                    count = count + 1
+                return (total, count)
+
+            self._model._meta.update("mu", _fold, default=(0.0, 0))
+        if params:
+            self._dirty.clear()
+            self._dirty_set.clear()
+        self._mu_ratings.clear()
+
+
 class MFModel:
     """KV-store-backed biased MF model with per-entity lazy initialisation.
 
     New user/video vectors are initialised deterministically from the
     entity id (seed XOR stable hash), so initialisation is idempotent: any
     worker that first touches an entity produces the same vector.
+
+    ``config.backend`` selects the parameter layout (contiguous arena vs
+    per-entity KV entries); every public method behaves identically under
+    both.
     """
 
     def __init__(
@@ -70,11 +458,85 @@ class MFModel:
     ) -> None:
         self.config = config or MFConfig()
         self._store = store if store is not None else InMemoryKVStore()
-        self._x = Namespace(self._store, "mf:x")
-        self._y = Namespace(self._store, "mf:y")
-        self._bu = Namespace(self._store, "mf:bu")
-        self._bi = Namespace(self._store, "mf:bi")
         self._meta = Namespace(self._store, "mf:meta")
+        if self.config.backend == "arena":
+            self._params: _ArenaParams | _KVParams = _ArenaParams(
+                self._meta, self.config.f
+            )
+        else:
+            self._params = _KVParams(self._store, self.config.f)
+        self._migrate_layout()
+
+    @property
+    def backend(self) -> str:
+        """The active parameter layout (``"arena"`` or ``"kv"``)."""
+        return self.config.backend
+
+    # ------------------------------------------------------------------
+    # Layout migration
+    # ------------------------------------------------------------------
+
+    def _migrate_layout(self) -> None:
+        """Adopt a store written by the other backend.
+
+        If the store already holds this backend's layout, nothing happens
+        (cheap: one or two meta reads).  Otherwise, parameters found in
+        the other layout are moved over and the old entries deleted, so a
+        checkpoint written by either backend restores into a model of the
+        other — *restore first, construct after* for cross-backend moves.
+        Mixing live models of both backends over one store is not
+        supported.
+        """
+        legacy = _KVParams(self._store, self.config.f)
+        if self.config.backend == "arena":
+            arena_params = self._params
+            assert isinstance(arena_params, _ArenaParams)
+            for kind in _KINDS:
+                if self._meta.get(arena_params.ARENA_KEYS[kind]) is not None:
+                    return  # arena layout present: nothing to migrate
+            for kind in _KINDS:
+                ids = legacy.ids(kind)
+                bias_only = legacy.bias_only_ids(kind)
+                if not ids and not bias_only:
+                    continue
+                vectors = legacy.vectors_many(kind, ids)
+                biases = legacy.biases_array(kind, ids)
+                extra_biases = legacy.biases_array(kind, bias_only)
+
+                def _fill(arena: FactorArena) -> None:
+                    for entity_id, vector, bias in zip(ids, vectors, biases):
+                        arena.put(entity_id, vector, float(bias))
+                    for entity_id, bias in zip(bias_only, extra_biases):
+                        arena.set_bias(entity_id, float(bias))
+
+                arena_params._mutate(kind, _fill)
+                for entity_id in set(ids) | set(bias_only):
+                    legacy.delete(kind, entity_id)
+        else:
+            arenas = {
+                kind: self._meta.get(_ArenaParams.ARENA_KEYS[kind])
+                for kind in _KINDS
+            }
+            if all(arena is None for arena in arenas.values()):
+                return  # no arena layout around: nothing to migrate
+            for kind in _KINDS:
+                if legacy.ids(kind) or legacy.bias_only_ids(kind):
+                    return  # both layouts present: keep the existing kv one
+            for kind, arena in arenas.items():
+                if arena is None:
+                    continue
+                ids, vectors, biases, has_vec = arena.export_rows()
+                items = [
+                    (entity_id, vectors[row], float(biases[row]))
+                    for row, entity_id in enumerate(ids)
+                    if has_vec[row]
+                ]
+                if items:
+                    legacy.put_many(kind, items)
+                for row, entity_id in enumerate(ids):
+                    if not has_vec[row]:
+                        legacy._bias[kind].put(entity_id, float(biases[row]))
+                self._meta.delete(_ArenaParams.ARENA_KEYS[kind])
 
     # ------------------------------------------------------------------
     # Global average
@@ -104,49 +566,65 @@ class MFModel:
 
     def user_vector(self, user_id: str) -> np.ndarray | None:
         """Return ``x_u`` or ``None`` when the user is unknown."""
-        return self._x.get(user_id)
+        return self._params.vector("user", user_id)
 
     def video_vector(self, video_id: str) -> np.ndarray | None:
         """Return ``y_i`` or ``None`` when the video is unknown."""
-        return self._y.get(video_id)
+        return self._params.vector("video", video_id)
+
+    def user_vectors_many(
+        self, user_ids: Sequence[str]
+    ) -> list[np.ndarray | None]:
+        """Batch :meth:`user_vector`: one store round-trip for the lot."""
+        return self._params.vectors_many("user", user_ids)
+
+    def video_vectors_many(
+        self, video_ids: Sequence[str]
+    ) -> list[np.ndarray | None]:
+        """Batch :meth:`video_vector`: one store round-trip for the lot."""
+        return self._params.vectors_many("video", video_ids)
+
+    def video_biases_many(self, video_ids: Sequence[str]) -> np.ndarray:
+        """Batch :meth:`video_bias` as a float64 array (0.0 for unknown)."""
+        return self._params.biases_array("video", video_ids)
 
     def user_bias(self, user_id: str) -> float:
-        return self._bu.get(user_id, 0.0)
+        return self._params.bias("user", user_id)
 
     def video_bias(self, video_id: str) -> float:
-        return self._bi.get(video_id, 0.0)
+        return self._params.bias("video", video_id)
 
     def ensure_user(self, user_id: str) -> np.ndarray:
         """Return ``x_u``, initialising it first for a new user
         (Algorithm 1 lines 3-5)."""
-        return self._x.setdefault(
-            user_id, lambda: self._init_vector("user", user_id)
+        return self._params.setdefault_vector(
+            "user", user_id, lambda: self._init_vector("user", user_id)
         )
 
     def ensure_video(self, video_id: str) -> np.ndarray:
         """Return ``y_i``, initialising it first for a new video
         (Algorithm 1 lines 6-8)."""
-        return self._y.setdefault(
-            video_id, lambda: self._init_vector("video", video_id)
+        return self._params.setdefault_vector(
+            "video", video_id, lambda: self._init_vector("video", video_id)
         )
 
     def has_user(self, user_id: str) -> bool:
-        return user_id in self._x
+        return self._params.has("user", user_id)
 
     def has_video(self, video_id: str) -> bool:
-        return video_id in self._y
+        return self._params.has("video", video_id)
 
     @property
     def n_users(self) -> int:
-        return len(self._x)
+        return self._params.count("user")
 
     @property
     def n_videos(self) -> int:
-        return len(self._y)
+        return self._params.count("video")
 
     def known_videos(self) -> list[str]:
         """Ids of all videos with a learned vector."""
-        return list(self._y.keys())
+        return self._params.ids("video")
 
     # ------------------------------------------------------------------
     # Prediction (Eq. 2) and error (Eq. 4)
@@ -172,20 +650,24 @@ class MFModel:
     ) -> np.ndarray:
         """Vectorized Eq. 2 over many candidate videos for one user.
 
-        This is the "SORT&SELECT WITH User vector" stage of Figure 1:
-        fetch the candidate video vectors and take inner products in one
-        matmul.
+        This is the "SORT&SELECT WITH User vector" stage of Figure 1: one
+        batched bias fetch, one gather of the candidate vectors into an
+        ``(n, f)`` matrix, one matmul.  Unknown videos contribute a zero
+        row (and 0.0 bias), reproducing the scalar :meth:`predict`'s
+        cold-start behaviour; the float op order per candidate —
+        ``(mu + b_u + b_i) + x_u . y_i`` — matches :meth:`predict`, so
+        scores agree with the scalar loop to within 1 ULP (the matmul's
+        BLAS accumulation order inside the dot product may differ from
+        the scalar ``@``).  Both backends route through this same path,
+        so arena and KV predictions are *exactly* equal to each other.
         """
         base = self.mu + self.user_bias(user_id)
+        biases = self._params.biases_array("video", video_ids)
+        scores = base + biases
         x_u = self.user_vector(user_id)
-        scores = np.full(len(video_ids), base, dtype=float)
-        for idx, video_id in enumerate(video_ids):
-            scores[idx] += self.video_bias(video_id)
-            if x_u is None:
-                continue
-            y_i = self.video_vector(video_id)
-            if y_i is not None:
-                scores[idx] += float(x_u @ y_i)
+        if x_u is not None and len(video_ids):
+            matrix = self._params.vectors_matrix("video", video_ids)
+            scores = scores + matrix @ x_u
         return scores
 
     def error(self, user_id: str, video_id: str, rating: float) -> float:
@@ -247,25 +729,39 @@ class MFModel:
 
     def put_user(self, user_id: str, x_u: np.ndarray, b_u: float) -> None:
         """Write one user's parameters (the ``MFStorage`` user path)."""
-        self._x.put(user_id, x_u)
-        self._bu.put(user_id, b_u)
+        self._params.put("user", user_id, x_u, b_u)
 
     def put_video(self, video_id: str, y_i: np.ndarray, b_i: float) -> None:
         """Write one video's parameters (the ``MFStorage`` video path)."""
-        self._y.put(video_id, y_i)
-        self._bi.put(video_id, b_i)
+        self._params.put("video", video_id, y_i, b_i)
+
+    def put_params_many(
+        self, items: Sequence[tuple[str, str, np.ndarray, float]]
+    ) -> None:
+        """Batch parameter write: ``(kind, id, vector, bias)`` records.
+
+        The micro-batched ``MFStorage`` path: all user rows go out in one
+        batch write, all video rows in another.  Within a kind, later
+        records win (same as sequential puts).
+        """
+        for kind in _KINDS:
+            batch = [
+                (entity_id, vector, bias)
+                for item_kind, entity_id, vector, bias in items
+                if item_kind == kind
+            ]
+            if batch:
+                self._params.put_many(kind, batch)
 
     def apply_update(self, update: MFUpdate) -> None:
         """Write one computed step's parameters back to the store.
 
         In the topology this is ``MFStorage``'s job; fields grouping
-        guarantees a single writer per key so the four puts need no
-        cross-key transaction.
+        guarantees a single writer per key so the puts need no cross-key
+        transaction.
         """
-        self._x.put(update.user_id, update.x_u)
-        self._y.put(update.video_id, update.y_i)
-        self._bu.put(update.user_id, update.b_u)
-        self._bi.put(update.video_id, update.b_i)
+        self._params.put("user", update.user_id, update.x_u, update.b_u)
+        self._params.put("video", update.video_id, update.y_i, update.b_i)
 
     def sgd_step(
         self, user_id: str, video_id: str, rating: float, eta: float
@@ -275,6 +771,35 @@ class MFModel:
         self.apply_update(update)
         return update
 
+    def batch_session(
+        self,
+        user_ids: Iterable[str] = (),
+        video_ids: Iterable[str] = (),
+    ) -> MFBatchSession:
+        """Open a micro-batch overlay prefetched for the given entities.
+
+        Callers run :meth:`MFBatchSession.observe_rating` /
+        :meth:`MFBatchSession.sgd_step` per action in stream order and
+        :meth:`MFBatchSession.commit` once; the result is byte-identical
+        to the sequential per-action methods.
+        """
+        return MFBatchSession(self, user_ids, video_ids)
+
+    def sgd_step_many(
+        self, steps: Sequence[tuple[str, str, float, float]]
+    ) -> list[MFUpdate]:
+        """Apply many ``(user, video, rating, eta)`` steps as one batch."""
+        session = self.batch_session(
+            (user_id for user_id, _, _, _ in steps),
+            (video_id for _, video_id, _, _ in steps),
+        )
+        updates = [
+            session.sgd_step(user_id, video_id, rating, eta)
+            for user_id, video_id, rating, eta in steps
+        ]
+        session.commit()
+        return updates
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
@@ -282,29 +807,23 @@ class MFModel:
     def save(self, path: str) -> None:
         """Serialise all parameters to an ``.npz`` file.
 
-        Stores user/video vectors, biases and the ``mu`` accumulators.
-        Entity ids are stored as arrays of strings; no pickling involved.
+        Stores user/video vectors, biases and the ``mu`` accumulators via
+        one bulk export per kind (no per-key loops).  Entity ids are
+        stored as arrays of strings; no pickling involved.  The file
+        format is backend-neutral: either backend loads it.
         """
-        user_ids = sorted(self._x.keys())
-        video_ids = sorted(self._y.keys())
+        user_ids, x, bu = self._params.export("user")
+        video_ids, y, bi = self._params.export("video")
         total, count = self._meta.get("mu", (0.0, 0))
         np.savez(
             path,
             f=np.array([self.config.f]),
             user_ids=np.array(user_ids, dtype=np.str_),
             video_ids=np.array(video_ids, dtype=np.str_),
-            x=(
-                np.stack([self._x.get_strict(u) for u in user_ids])
-                if user_ids
-                else np.empty((0, self.config.f))
-            ),
-            y=(
-                np.stack([self._y.get_strict(v) for v in video_ids])
-                if video_ids
-                else np.empty((0, self.config.f))
-            ),
-            bu=np.array([self.user_bias(u) for u in user_ids]),
-            bi=np.array([self.video_bias(v) for v in video_ids]),
+            x=x if len(user_ids) else np.empty((0, self.config.f)),
+            y=y if len(video_ids) else np.empty((0, self.config.f)),
+            bu=bu,
+            bi=bi,
             mu=np.array([total, float(count)]),
         )
 
@@ -320,10 +839,20 @@ class MFModel:
                 )
             user_ids = [str(u) for u in data["user_ids"]]
             video_ids = [str(v) for v in data["video_ids"]]
-            for idx, user_id in enumerate(user_ids):
-                self.put_user(user_id, data["x"][idx].copy(), float(data["bu"][idx]))
-            for idx, video_id in enumerate(video_ids):
-                self.put_video(video_id, data["y"][idx].copy(), float(data["bi"][idx]))
+            self._params.put_many(
+                "user",
+                [
+                    (user_id, data["x"][idx].copy(), float(data["bu"][idx]))
+                    for idx, user_id in enumerate(user_ids)
+                ],
+            )
+            self._params.put_many(
+                "video",
+                [
+                    (video_id, data["y"][idx].copy(), float(data["bi"][idx]))
+                    for idx, video_id in enumerate(video_ids)
+                ],
+            )
             total, count = data["mu"]
             self._meta.put("mu", (float(total), int(count)))
 
@@ -337,15 +866,23 @@ class MFModel:
         epochs: int = 10,
         eta: float = 0.02,
         shuffle_seed: int = 0,
+        batch_size: int = 512,
     ) -> list[float]:
         """Multi-pass SGD over a fixed dataset; returns per-epoch RMSE.
 
         This is the conventional offline training the paper contrasts its
         online strategy against; the ``BatchMF`` baseline retrains with it
-        at regular intervals.
+        at regular intervals.  ``mu`` is seeded once from the dataset mean
+        before the first epoch (epochs never touch it — there is nothing
+        new to observe in a fixed dataset), steps run through micro-batch
+        sessions of ``batch_size`` to amortise store round-trips, and the
+        per-epoch RMSE is ``sqrt(mean(errors**2))`` over the collected
+        error array rather than a scalar accumulation.
         """
         if not ratings:
             raise ModelError("fit_batch needs a non-empty dataset")
+        if batch_size < 1:
+            raise ModelError(f"batch_size must be >= 1, got {batch_size}")
         mean = sum(r for _, _, r in ratings) / len(ratings)
         self._meta.put("mu", (mean * len(ratings), len(ratings)))
         rng = np.random.default_rng(shuffle_seed)
@@ -353,10 +890,15 @@ class MFModel:
         history: list[float] = []
         for _ in range(epochs):
             rng.shuffle(order)
-            sq_err = 0.0
-            for idx in order:
-                user_id, video_id, rating = ratings[idx]
-                update = self.sgd_step(user_id, video_id, rating, eta)
-                sq_err += update.error**2
-            history.append(float(np.sqrt(sq_err / len(ratings))))
+            errors = np.empty(len(order), dtype=np.float64)
+            for start in range(0, len(order), batch_size):
+                chunk = order[start : start + batch_size]
+                steps = [
+                    (ratings[idx][0], ratings[idx][1], ratings[idx][2], eta)
+                    for idx in chunk
+                ]
+                updates = self.sgd_step_many(steps)
+                for offset, update in enumerate(updates):
+                    errors[start + offset] = update.error
+            history.append(float(np.sqrt(np.mean(errors**2))))
         return history

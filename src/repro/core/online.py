@@ -147,6 +147,54 @@ class OnlineTrainer:
         self._count("updated")
         return update
 
+    def process_batch(self, actions: list[UserAction]) -> list[MFUpdate | None]:
+        """Process a micro-batch of actions with batched store traffic.
+
+        Semantically identical to calling :meth:`process` per action in
+        order — same WAL appends, same stats, same counters, same model
+        parameters (the SGD steps replay sequentially through a
+        :class:`~repro.core.mf.MFBatchSession` overlay) — but vectors,
+        biases and ``mu`` are read once up front and written once at the
+        end.  A batch of one is exactly the sequential code path.
+        """
+        if not actions:
+            return []
+        if len(actions) == 1:
+            return [self.process(actions[0])]
+        for action in actions:
+            if self.wal is not None:
+                self.wal.append(action)
+            self.stats.seen += 1
+        session = self.model.batch_session(
+            (action.user_id for action in actions),
+            (action.video_id for action in actions),
+        )
+        results: list[MFUpdate | None] = []
+        for action in actions:
+            try:
+                feedback = self.feedback_for(action)
+            except DataError:
+                self.stats.skipped_invalid += 1
+                self._count("skipped_invalid")
+                results.append(None)
+                continue
+            session.observe_rating(feedback.rating)
+            if not feedback.is_positive:
+                self.stats.skipped_zero += 1
+                self._count("skipped_zero")
+                results.append(None)
+                continue
+            eta = self.learning_rate(feedback.confidence)
+            update = session.sgd_step(
+                action.user_id, action.video_id, feedback.rating, eta
+            )
+            self.stats.updated += 1
+            self.stats.abs_error_total += abs(update.error)
+            self._count("updated")
+            results.append(update)
+        session.commit()
+        return results
+
     def process_stream(self, actions: Iterable[UserAction]) -> int:
         """Process a whole stream in order; return the number of updates."""
         before = self.stats.updated

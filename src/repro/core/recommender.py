@@ -209,10 +209,19 @@ class RealtimeRecommender:
         timestamp = self.clock.now() if now is None else now
 
         with self._span("candidates.select"):
-            seeds = self.seeds_for(user_id, current_video)
+            # One history read serves both seed selection and the watched
+            # filter (mutually consistent, half the store traffic).
+            snapshot = self.history.snapshot(
+                user_id, self.config.recommend.max_seeds
+            )
+            seeds = (
+                [current_video]
+                if current_video is not None
+                else snapshot.recent
+            )
             exclude: set[str] = set()
             if self.config.recommend.exclude_watched:
-                exclude = self.history.watched(user_id)
+                exclude = set(snapshot.watched)
             candidates = self.selector.select(
                 seeds, exclude=exclude, now=timestamp
             )

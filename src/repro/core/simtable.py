@@ -18,7 +18,9 @@ per-video lists are updated (``ResultStorage``).
 
 from __future__ import annotations
 
-from typing import Mapping
+import heapq
+import math
+from typing import Mapping, Sequence
 
 from ..clock import Clock, SystemClock
 from ..config import SimilarityConfig
@@ -47,6 +49,31 @@ def generate_pairs(
     return pairs
 
 
+def _eviction_key(raw: float, timestamp: float, xi: float) -> tuple[float, float]:
+    """A time-invariant total order over damped relevances.
+
+    At any common read time ``now`` the damped value of an entry is
+    ``raw * 2^(-(now - t)/xi)``; comparing two entries, ``now`` cancels,
+    so ``log2(|raw|) + t/xi`` orders same-sign entries without ever
+    materialising ``2^(t/xi)`` (which overflows for realistic epoch
+    timestamps).  The leading sign component keeps negatives < zero <
+    positives.  Ascending key == ascending damped value, so a min-heap of
+    keys pops the weakest entry — and keys never go stale as the clock
+    advances, which is what lets the heap live across updates.
+
+    The one divergence from :meth:`SimilarityScorer.damped` is its
+    ``max(0, elapsed)`` clamp: an entry stamped *later* than the eviction
+    time keeps growing here instead of flattening.  Entries from the
+    future only arise from out-of-order replays, and preferring the newest
+    of them is an acceptable tie-break.
+    """
+    if raw > 0.0:
+        return (1.0, math.log2(raw) + timestamp / xi)
+    if raw < 0.0:
+        return (-1.0, -(math.log2(-raw) + timestamp / xi))
+    return (0.0, 0.0)
+
+
 class SimilarVideoTable:
     """Incrementally maintained top-K similar-video lists.
 
@@ -72,6 +99,13 @@ class SimilarVideoTable:
         backing = store if store is not None else InMemoryKVStore()
         # Per video: dict other_id -> (raw_relevance, updated_at).
         self._table = Namespace(backing, "simtable")
+        # Per video: min-heap of (eviction key, other_id) mirroring the
+        # stored entries, so eviction pops the weakest in O(log K) instead
+        # of scanning all K.  Keys are time-invariant (see _eviction_key)
+        # so the heap survives across updates; superseded pushes are
+        # skipped lazily at pop time.  Purely a local accelerator — it is
+        # rebuilt on demand, never persisted.
+        self._heaps: dict[str, list[tuple[tuple[float, float], str]]] = {}
 
     # ------------------------------------------------------------------
     # Updates
@@ -91,8 +125,7 @@ class SimilarVideoTable:
         meta_j = self.videos.get(video_j)
         if meta_i is None or meta_j is None:
             return None
-        y_i = self.model.video_vector(video_i)
-        y_j = self.model.video_vector(video_j)
+        y_i, y_j = self.model.video_vectors_many([video_i, video_j])
         if y_i is None or y_j is None:
             return None
         timestamp = self.clock.now() if now is None else now
@@ -115,8 +148,7 @@ class SimilarVideoTable:
         meta_j = self.videos.get(video_j)
         if meta_i is None or meta_j is None:
             return None
-        y_i = self.model.video_vector(video_i)
-        y_j = self.model.video_vector(video_j)
+        y_i, y_j = self.model.video_vectors_many([video_i, video_j])
         if y_i is None or y_j is None:
             return None
         return self.scorer.raw_relevance(meta_i, y_i, meta_j, y_j)
@@ -127,26 +159,55 @@ class SimilarVideoTable:
         """Store one pre-scored directed entry (the ``ResultStorage`` step)."""
         self._insert(video_id, other_id, raw, timestamp)
 
+    def _rebuild_heap(
+        self, video_id: str, entries: dict[str, tuple[float, float]]
+    ) -> list[tuple[tuple[float, float], str]]:
+        xi = self.config.xi
+        heap = [
+            (_eviction_key(raw, updated_at, xi), other)
+            for other, (raw, updated_at) in entries.items()
+        ]
+        heapq.heapify(heap)
+        self._heaps[video_id] = heap
+        return heap
+
     def _insert(
         self, video_id: str, other_id: str, raw: float, timestamp: float
     ) -> None:
         """Put ``other_id`` into ``video_id``'s list, evicting if full.
 
-        Eviction compares *damped* relevances as of ``timestamp`` so a
-        stale high raw score cannot squat in the table forever.
+        Eviction compares *damped* relevances (via the time-invariant
+        :func:`_eviction_key`) so a stale high raw score cannot squat in
+        the table forever.  The stored dict is mutated in place under the
+        store's atomic update — no copy of all K entries per write — and
+        the weakest entry comes off the instance's min-heap in O(log K)
+        rather than a full scan.
         """
+        xi = self.config.xi
+        key = _eviction_key(raw, timestamp, xi)
 
         def _update(entries: dict[str, tuple[float, float]]):
-            entries = dict(entries)
+            heap = self._heaps.get(video_id)
+            if heap is None:
+                heap = self._rebuild_heap(video_id, entries)
             entries[other_id] = (raw, timestamp)
+            heapq.heappush(heap, (key, other_id))
             if len(entries) > self.config.table_size:
-                weakest = min(
-                    entries,
-                    key=lambda vid: self.scorer.damped(
-                        entries[vid][0], timestamp - entries[vid][1]
-                    ),
-                )
-                del entries[weakest]
+                while True:
+                    if not heap:
+                        # Cache missed writes from another table instance
+                        # over the same store; resync and keep going.
+                        heap = self._rebuild_heap(video_id, entries)
+                    weakest_key, weakest = heapq.heappop(heap)
+                    current = entries.get(weakest)
+                    if current is None:
+                        continue  # already evicted; lazily discarded
+                    if _eviction_key(current[0], current[1], xi) != weakest_key:
+                        continue  # superseded by a newer push for this id
+                    del entries[weakest]
+                    break
+            if len(heap) > 4 * self.config.table_size:
+                self._rebuild_heap(video_id, entries)
             return entries
 
         self._table.update(video_id, _update, default={})
@@ -165,12 +226,39 @@ class SimilarVideoTable:
         gradually forgotten".
         """
         entries: dict[str, tuple[float, float]] = self._table.get(video_id, {})
+        current = self.clock.now() if now is None else now
+        return self._rank(entries, k, current)
+
+    def neighbors_many(
+        self,
+        video_ids: Sequence[str],
+        k: int | None = None,
+        now: float | None = None,
+    ) -> list[list[tuple[str, float]]]:
+        """Batch :meth:`neighbors`: one store round-trip for all seeds.
+
+        Returns one ranked list per seed, in input order — the candidate
+        selector's path, where a request's seeds become one ``mget``
+        (one call per shard on a sharded store) instead of a get per seed.
+        """
+        current = self.clock.now() if now is None else now
+        maps = self._table.mget(list(video_ids))
+        return [self._rank(entries or {}, k, current) for entries in maps]
+
+    def _rank(
+        self,
+        entries: dict[str, tuple[float, float]],
+        k: int | None,
+        current: float,
+    ) -> list[tuple[str, float]]:
         if not entries:
             return []
-        current = self.clock.now() if now is None else now
+        # Snapshot first: entries may be the live stored dict (inserts
+        # mutate it in place) and a concurrent writer must not upend the
+        # iteration.  A plain dict() copy is atomic under the GIL.
         scored = [
             (other, self.scorer.damped(raw, current - updated_at))
-            for other, (raw, updated_at) in entries.items()
+            for other, (raw, updated_at) in list(dict(entries).items())
         ]
         scored = [(other, sim) for other, sim in scored if sim > 0.0]
         scored.sort(key=lambda pair: (-pair[1], pair[0]))

@@ -83,6 +83,15 @@ class BreakerKVStore(KVStore):
             lambda: self.inner.compare_and_set(key, value, expected_version)
         )
 
+    def mget(self, keys, default: Any = None) -> list[Any]:
+        """Batch get behind one breaker admission: the whole batch counts
+        as a single operation (one allow check, one success/failure)."""
+        return self._guarded(lambda: self.inner.mget(keys, default))
+
+    def mput(self, items, ttl: float | None = None) -> list[int]:
+        """Batch put behind one breaker admission."""
+        return self._guarded(lambda: self.inner.mput(items, ttl=ttl))
+
     def version(self, key: Key) -> int:
         return self.inner.version(key)
 

@@ -59,6 +59,41 @@ class ReadThroughCache:
         self._backing.put(key, value)
         self._insert(key, value)
 
+    def mget(self, keys, default: Any = None) -> list[Any]:
+        """Batch get: cache hits are served locally; all misses go to the
+        backing store in a single :meth:`KVStore.mget` call and fill the
+        cache.  Results follow input order (the ``mget`` contract)."""
+        keys = list(keys)
+        out: list[Any] = [default] * len(keys)
+        miss_positions: list[int] = []
+        for position, key in enumerate(keys):
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                self.hits += 1
+                out[position] = self._cache[key]
+            else:
+                self.misses += 1
+                miss_positions.append(position)
+        if miss_positions:
+            fetched = self._backing.mget(
+                [keys[p] for p in miss_positions], _MISSING
+            )
+            for position, value in zip(miss_positions, fetched):
+                if value is _MISSING:
+                    continue
+                self._insert(keys[position], value)
+                out[position] = value
+        return out
+
+    def mput(self, items) -> list[int]:
+        """Batch write-through: one backing ``mput``, then cache fill.
+        Returns the backing store's new versions, in input order."""
+        items = list(items)
+        versions = self._backing.mput(items)
+        for key, value in items:
+            self._insert(key, value)
+        return versions
+
     def invalidate(self, key: Key) -> None:
         self._cache.pop(key, None)
 

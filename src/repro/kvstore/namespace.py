@@ -56,6 +56,19 @@ class Namespace(KVStore):
     def version(self, key: Key) -> int:
         return self._backing.version(self._wrap(key))
 
+    def mget(self, keys, default: Any = None) -> list[Any]:
+        """Batch get: wraps every key, then delegates one batch call so a
+        batch-capable backing store sees the whole batch at once."""
+        return self._backing.mget(
+            [self._wrap(key) for key in keys], default
+        )
+
+    def mput(self, items, ttl: float | None = None) -> list[int]:
+        """Batch put with prefixed keys, delegated as one batch call."""
+        return self._backing.mput(
+            [(self._wrap(key), value) for key, value in items], ttl=ttl
+        )
+
     def __contains__(self, key: Key) -> bool:
         return self._wrap(key) in self._backing
 

@@ -65,6 +65,42 @@ class ShardedKVStore(KVStore):
     def version(self, key: Key) -> int:
         return self.shard_for(key).version(key)
 
+    def mget(self, keys: Iterable[Key], default: Any = None) -> list[Any]:
+        """Batch get: keys are grouped per shard, one :meth:`mget` per
+        shard, and results are reassembled in input order."""
+        keys = list(keys)
+        groups: dict[int, list[int]] = {}
+        for position, key in enumerate(keys):
+            groups.setdefault(self.shard_index(key), []).append(position)
+        out: list[Any] = [default] * len(keys)
+        for shard_idx, positions in groups.items():
+            values = self._shards[shard_idx].mget(
+                [keys[p] for p in positions], default
+            )
+            for position, value in zip(positions, values):
+                out[position] = value
+        return out
+
+    def mput(
+        self,
+        items: Iterable[tuple[Key, Any]],
+        ttl: float | None = None,
+    ) -> list[int]:
+        """Batch put: one :meth:`mput` per owning shard, versions returned
+        in input order."""
+        items = list(items)
+        groups: dict[int, list[int]] = {}
+        for position, (key, _) in enumerate(items):
+            groups.setdefault(self.shard_index(key), []).append(position)
+        versions: list[int] = [0] * len(items)
+        for shard_idx, positions in groups.items():
+            shard_versions = self._shards[shard_idx].mput(
+                [items[p] for p in positions], ttl=ttl
+            )
+            for position, version in zip(positions, shard_versions):
+                versions[position] = version
+        return versions
+
     def __contains__(self, key: Key) -> bool:
         return key in self.shard_for(key)
 

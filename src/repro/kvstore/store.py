@@ -117,6 +117,40 @@ class KVStore(ABC):
 
         return self.update(key, _init, default=sentinel)
 
+    # -- batch operations --------------------------------------------------
+    #
+    # Contract (all implementations and wrappers):
+    #   * ``mget`` returns one value per input key, in input order; keys
+    #     that are absent or expired yield ``default``.  Duplicate keys are
+    #     allowed and each occurrence is resolved independently.
+    #   * ``mput`` writes every ``(key, value)`` pair and returns the new
+    #     version numbers in input order.  A duplicate key is written twice,
+    #     in order (last write wins, two version bumps).
+    #   * Neither operation is atomic across keys unless a concrete store
+    #     says otherwise (``InMemoryKVStore`` holds its lock for the whole
+    #     batch; ``ShardedKVStore`` is atomic per shard only).
+
+    def mget(self, keys: Iterable[Key], default: Any = None) -> list[Any]:
+        """Batch :meth:`get`: one result per key, in input order.
+
+        The base implementation loops over :meth:`get` so third-party
+        stores keep working; concrete stores override it with a single
+        locked pass.
+        """
+        return [self.get(key, default) for key in keys]
+
+    def mput(
+        self,
+        items: Iterable[tuple[Key, Any]],
+        ttl: float | None = None,
+    ) -> list[int]:
+        """Batch :meth:`put`: returns the new versions in input order.
+
+        ``ttl`` applies uniformly to every written entry.  The base
+        implementation loops over :meth:`put`.
+        """
+        return [self.put(key, value, ttl=ttl) for key, value in items]
+
     # -- checkpoint support ------------------------------------------------
 
     def snapshot_entries(self) -> list[EntrySnapshot]:
@@ -224,6 +258,30 @@ class InMemoryKVStore(KVStore):
         with self._lock:
             entry = self._live_entry(key)
             return 0 if entry is None else entry.version
+
+    def mget(self, keys: Iterable[Key], default: Any = None) -> list[Any]:
+        """Batch get under one lock acquisition (atomic snapshot)."""
+        with self._lock:
+            out = []
+            for key in keys:
+                entry = self._live_entry(key)
+                out.append(default if entry is None else entry.value)
+            return out
+
+    def mput(
+        self,
+        items: Iterable[tuple[Key, Any]],
+        ttl: float | None = None,
+    ) -> list[int]:
+        """Batch put under one lock acquisition (atomic batch)."""
+        with self._lock:
+            versions = []
+            for key, value in items:
+                entry = self._live_entry(key)
+                version = 1 if entry is None else entry.version + 1
+                self._data[key] = _Entry(value, version, self._expiry(ttl))
+                versions.append(version)
+            return versions
 
     def __contains__(self, key: Key) -> bool:
         with self._lock:

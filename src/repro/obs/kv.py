@@ -50,9 +50,15 @@ class InstrumentedKVStore(KVStore):
                 "KV operation latency by op name",
                 labelnames=("op",),
             )
+            self._batch_keys = registry.counter(
+                "kvstore_batch_keys_total",
+                "Keys carried by batch KV operations, by op name",
+                labelnames=("op",),
+            )
         else:
             self._ops = None
             self._latency = None
+            self._batch_keys = None
 
     def _call(self, op: str, fn: Callable[[], Any]) -> Any:
         if self._ops is not None:
@@ -94,6 +100,21 @@ class InstrumentedKVStore(KVStore):
         return self._call(
             "cas", lambda: self.inner.compare_and_set(key, value, expected_version)
         )
+
+    def mget(self, keys, default: Any = None) -> list[Any]:
+        """Batch get: one ``mget`` op count/span for the whole batch, plus
+        the batch size in ``kvstore_batch_keys_total{op="mget"}``."""
+        keys = list(keys)
+        if self._batch_keys is not None:
+            self._batch_keys.labels(op="mget").inc(len(keys))
+        return self._call("mget", lambda: self.inner.mget(keys, default))
+
+    def mput(self, items, ttl: float | None = None) -> list[int]:
+        """Batch put: one ``mput`` op count/span for the whole batch."""
+        items = list(items)
+        if self._batch_keys is not None:
+            self._batch_keys.labels(op="mput").inc(len(items))
+        return self._call("mput", lambda: self.inner.mput(items, ttl=ttl))
 
     def version(self, key: Key) -> int:
         return self._call("version", lambda: self.inner.version(key))

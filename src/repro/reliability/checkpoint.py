@@ -35,8 +35,9 @@ import json
 import os
 import pickle
 import shutil
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Mapping
 
 from ..errors import CheckpointError
 from ..kvstore import EntrySnapshot, KVStore
@@ -50,13 +51,20 @@ _FORMAT_VERSION = 1
 
 @dataclass(frozen=True, slots=True)
 class CheckpointInfo:
-    """Manifest of one completed checkpoint."""
+    """Manifest of one completed checkpoint.
+
+    ``metadata`` carries caller-supplied, JSON-serialisable annotations —
+    e.g. the model backend (``{"mf_backend": "arena"}``) so operators can
+    see at a glance which parameter layout a snapshot holds.  It travels
+    in the manifest only; restore semantics never depend on it.
+    """
 
     checkpoint_id: int
     path: str
     wal_seq: int
     n_entries: int
     created_at: float
+    metadata: Mapping[str, object] = field(default_factory=dict)
 
     @property
     def name(self) -> str:
@@ -87,14 +95,21 @@ class CheckpointManager:
     # ------------------------------------------------------------------
 
     def create(
-        self, store: KVStore, wal_seq: int = 0, created_at: float = 0.0
+        self,
+        store: KVStore,
+        wal_seq: int = 0,
+        created_at: float = 0.0,
+        metadata: Mapping[str, object] | None = None,
     ) -> CheckpointInfo:
         """Snapshot ``store`` as the next checkpoint; return its manifest.
 
         ``wal_seq`` records the last WAL sequence number already reflected
         in the snapshot, so recovery knows where replay must resume.
+        ``metadata`` (JSON-serialisable mapping) is stored verbatim in the
+        manifest and surfaced on :class:`CheckpointInfo`.
         """
         checkpoint_id = self._next_id()
+        metadata = dict(metadata or {})
         entries = store.snapshot_entries()
         payload = pickle.dumps(entries, protocol=pickle.HIGHEST_PROTOCOL)
 
@@ -111,6 +126,7 @@ class CheckpointManager:
                 "n_entries": len(entries),
                 "created_at": created_at,
                 "sha256": hashlib.sha256(payload).hexdigest(),
+                "metadata": metadata,
             }
             self._write_file(
                 staging / _MANIFEST_FILE,
@@ -128,6 +144,7 @@ class CheckpointManager:
             wal_seq=wal_seq,
             n_entries=len(entries),
             created_at=created_at,
+            metadata=metadata,
         )
 
     def _write_file(self, path: Path, data: bytes) -> None:
@@ -162,6 +179,7 @@ class CheckpointManager:
                     wal_seq=int(manifest["wal_seq"]),
                     n_entries=int(manifest["n_entries"]),
                     created_at=float(manifest["created_at"]),
+                    metadata=dict(manifest.get("metadata", {})),
                 )
             )
         infos.sort(key=lambda info: info.checkpoint_id)

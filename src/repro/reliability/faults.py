@@ -101,6 +101,14 @@ class ChaosBolt(Bolt):
             if roll < self.plan.drop_rate + self.plan.duplicate_rate:
                 collector.emit(emitted, stream=emitted.stream)
 
+    def flush(self, collector: Collector) -> None:
+        # End-of-stream flush passes through un-faulted: the crash/drop
+        # schedules are defined over delivered tuples, not flushes.
+        self.inner.flush(collector)
+
+    def cleanup(self) -> None:
+        self.inner.cleanup()
+
     def process(self, tup: StreamTuple, collector: Collector) -> None:
         self._count += 1
         period = self.plan.crash_every.get(self.component)
@@ -117,9 +125,6 @@ class ChaosBolt(Bolt):
             and self._rng.random() < self.plan.redeliver_rate
         ):
             self._deliver_once(tup, collector)
-
-    def cleanup(self) -> None:
-        self.inner.cleanup()
 
 
 def wrap_topology(

@@ -360,6 +360,17 @@ class RequestRouter:
             deadline_exceeded=deadline_exceeded,
         )
 
+    def handle_many(self, requests: list[RecRequest]) -> list[RecResponse]:
+        """Serve a batch of requests; never raises.
+
+        Each request runs through the full admission → breaker → deadline
+        → fallback chain independently (one user's failure or shed never
+        poisons a neighbour's response), in input order — the shape a
+        batched serving endpoint hands the router.  Responses come back in
+        the same order as the requests.
+        """
+        return [self.handle(request) for request in requests]
+
     def stats(self, scenario: Scenario) -> ScenarioStats:
         return self._stats[scenario]
 

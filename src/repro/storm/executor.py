@@ -177,6 +177,37 @@ class _ExecutorBase:
             span.finish()
         return out
 
+    def _flush_one(self, name: str, worker: int) -> list[_Delivery]:
+        """Invoke one worker's :meth:`Bolt.flush`; route its emissions."""
+        bolt = self._bolt_workers[(name, worker)]
+        collector = Collector()
+        component = self.metrics.component(name)
+        try:
+            bolt.flush(collector)
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            component.record_failure()
+            if self.fail_fast:
+                raise ComponentError(name, exc) from exc
+            return []
+        out: list[_Delivery] = []
+        for emitted in collector.drain():
+            component.record_emit()
+            out.extend(self._route(name, emitted))
+        return out
+
+    def _flush_all(self) -> None:
+        """Drain every worker's buffered output at end of stream.
+
+        Workers are visited in declaration order — topological for a
+        DAG built front-to-back, as this repo's topologies are — so a
+        flush that feeds a downstream batching bolt lands in its buffer
+        before that bolt's own flush runs.
+        """
+        for name, worker in list(self._bolt_workers):
+            pending = deque(self._flush_one(name, worker))
+            while pending:
+                pending.extend(self._process_one(pending.popleft()))
+
 
 class LocalExecutor(_ExecutorBase):
     """Deterministic in-process executor.
@@ -215,6 +246,7 @@ class LocalExecutor(_ExecutorBase):
                         self._tracer.defer_child(root)
                     root.finish()
                 self._drain(deliveries)
+            self._flush_all()
             return self.metrics
         finally:
             self._shutdown()
@@ -445,6 +477,10 @@ class ThreadedExecutor(_ExecutorBase):
                             self._shed(stale)
             for thread in bolt_threads:
                 thread.join(timeout=1.0)
+            if self._error is None:
+                # Workers have stopped, so buffered batches can be flushed
+                # and drained inline without racing the queues.
+                self._flush_all()
             self._shutdown()
         if self._error is not None:
             raise self._error

@@ -90,6 +90,15 @@ class Bolt(ABC):
     def process(self, tup: StreamTuple, collector: Collector) -> None:
         """Handle one tuple; emit downstream tuples via ``collector``."""
 
+    def flush(self, collector: Collector) -> None:
+        """Emit any buffered output (default: none).
+
+        Micro-batching bolts override this.  Executors call it once per
+        worker after the sources are exhausted — before :meth:`cleanup`,
+        with a live collector — so a partially filled batch is never lost
+        at the end of a run.
+        """
+
     def cleanup(self) -> None:
         """Per-worker shutdown hook (default: none)."""
 

@@ -165,7 +165,19 @@ class SanitizeBolt(Bolt):
 
 class ComputeMFBolt(Bolt):
     """Computes Algorithm 1's new parameters and emits them keyed for
-    storage.  Never writes vectors itself (``persist_init=False``)."""
+    storage.  Never writes vectors itself (``persist_init=False``).
+
+    ``batch_size > 1`` turns on opt-in micro-batching: actions buffer in
+    the worker and are trained through one
+    :class:`~repro.core.mf.MFBatchSession` per flush (one batched read,
+    one ``mu`` fold), with the new vectors emitted at flush time.  The SGD
+    arithmetic replays sequentially through the overlay, so the emitted
+    parameters match the unbatched path; what changes is write latency
+    (downstream sees updates per flush, not per tuple) and crash exposure
+    (a restarted worker loses its buffered, not-yet-flushed actions — the
+    WAL/replay path still covers them).  The default ``batch_size=1`` is
+    exactly the original per-tuple behaviour.
+    """
 
     def __init__(
         self,
@@ -175,47 +187,27 @@ class ComputeMFBolt(Bolt):
         variant: ModelVariant = COMBINE_MODEL,
         online: OnlineConfig | None = None,
         tracer: "Tracer | None" = None,
+        batch_size: int = 1,
     ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.model = model
         self.videos = videos
         self.weigher = weigher or LogPlaytimeWeigher()
         self.variant = variant
         self.online = online or OnlineConfig()
         self.tracer = tracer
+        self.batch_size = batch_size
+        self._pending: list[UserAction] = []
 
-    def process(self, tup: StreamTuple, collector: Collector) -> None:
-        action: UserAction = tup["action"]
-        try:
-            feedback = extract_feedback(
-                action,
-                self.weigher,
-                self.variant.rating_mode,
-                self.videos.get(action.video_id),
-            )
-        except DataError:
-            return  # unqualified tuple: PLAYTIME without known duration
-        self.model.observe_rating(feedback.rating)
-        if not feedback.is_positive:
-            return
-        if self.tracer is not None and self.tracer.current_span() is not None:
-            with self.tracer.span("trainer.update"):
-                self._update(action, feedback, collector)
-        else:
-            self._update(action, feedback, collector)
-
-    def _update(self, action, feedback, collector: Collector) -> None:
+    def _eta(self, feedback) -> float:
         if self.variant.adjustable:
             eta = self.online.eta0 + self.online.alpha * feedback.confidence
         else:
             eta = self.online.eta0
-        eta = min(eta, self.online.max_eta)
-        update = self.model.compute_update(
-            action.user_id,
-            action.video_id,
-            feedback.rating,
-            eta,
-            persist_init=False,
-        )
+        return min(eta, self.online.max_eta)
+
+    def _emit_update(self, update, collector: Collector) -> None:
         collector.emit(
             {
                 "kind": "user",
@@ -235,20 +227,134 @@ class ComputeMFBolt(Bolt):
             stream=VIDEO_VEC_STREAM,
         )
 
+    def process(self, tup: StreamTuple, collector: Collector) -> None:
+        action: UserAction = tup["action"]
+        if self.batch_size > 1:
+            self._pending.append(action)
+            if len(self._pending) >= self.batch_size:
+                self._run_batch(collector)
+            return
+        try:
+            feedback = extract_feedback(
+                action,
+                self.weigher,
+                self.variant.rating_mode,
+                self.videos.get(action.video_id),
+            )
+        except DataError:
+            return  # unqualified tuple: PLAYTIME without known duration
+        self.model.observe_rating(feedback.rating)
+        if not feedback.is_positive:
+            return
+        if self.tracer is not None and self.tracer.current_span() is not None:
+            with self.tracer.span("trainer.update"):
+                self._update(action, feedback, collector)
+        else:
+            self._update(action, feedback, collector)
+
+    def flush(self, collector: Collector) -> None:
+        if self.batch_size > 1:
+            self._run_batch(collector)
+
+    def _run_batch(self, collector: Collector) -> None:
+        if not self._pending:
+            return
+        actions, self._pending = self._pending, []
+        feedbacks = []
+        for action in actions:
+            try:
+                feedback = extract_feedback(
+                    action,
+                    self.weigher,
+                    self.variant.rating_mode,
+                    self.videos.get(action.video_id),
+                )
+            except DataError:
+                feedback = None  # unqualified tuple, same as scalar path
+            feedbacks.append(feedback)
+        session = self.model.batch_session(
+            (
+                action.user_id
+                for action, feedback in zip(actions, feedbacks)
+                if feedback is not None and feedback.is_positive
+            ),
+            (
+                action.video_id
+                for action, feedback in zip(actions, feedbacks)
+                if feedback is not None and feedback.is_positive
+            ),
+        )
+        for action, feedback in zip(actions, feedbacks):
+            if feedback is None:
+                continue
+            session.observe_rating(feedback.rating)
+            if not feedback.is_positive:
+                continue
+            update = session.sgd_step(
+                action.user_id,
+                action.video_id,
+                feedback.rating,
+                self._eta(feedback),
+            )
+            self._emit_update(update, collector)
+        # Only the mu fold is committed here: MFStorage stays the single
+        # writer of parameters, fed by the emissions above.
+        session.commit(params=False)
+
+    def _update(self, action, feedback, collector: Collector) -> None:
+        update = self.model.compute_update(
+            action.user_id,
+            action.video_id,
+            feedback.rating,
+            self._eta(feedback),
+            persist_init=False,
+        )
+        self._emit_update(update, collector)
+
 
 class MFStorageBolt(Bolt):
-    """The single writer of MF parameters (per fields-grouped key)."""
+    """The single writer of MF parameters (per fields-grouped key).
 
-    def __init__(self, model: MFModel) -> None:
+    With ``batch_size > 1`` incoming parameter tuples buffer and land in
+    one :meth:`~repro.core.mf.MFModel.put_params_many` per flush — one
+    batched store write per kind instead of one put per tuple.  Ordering
+    within the buffer is preserved (later tuples win, as sequential puts
+    would), and fields grouping still guarantees this worker is the only
+    writer of its keys.  Default ``batch_size=1`` writes per tuple.
+    """
+
+    def __init__(self, model: MFModel, batch_size: int = 1) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.model = model
+        self.batch_size = batch_size
         self.writes = 0
+        self._pending: list[tuple[str, str, object, float]] = []
 
     def process(self, tup: StreamTuple, collector: Collector) -> None:
+        if self.batch_size > 1:
+            self._pending.append(
+                (tup["kind"], tup["key"], tup["vector"], tup["bias"])
+            )
+            if len(self._pending) >= self.batch_size:
+                self._run_batch()
+            return
         if tup["kind"] == "user":
             self.model.put_user(tup["key"], tup["vector"], tup["bias"])
         else:
             self.model.put_video(tup["key"], tup["vector"], tup["bias"])
         self.writes += 1
+
+    def flush(self, collector: Collector) -> None:
+        if self.batch_size > 1:
+            self._run_batch()
+
+    def _run_batch(self) -> None:
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        self.model.put_params_many(batch)
+        self.writes += len(batch)
 
 
 class UserHistoryBolt(Bolt):

@@ -75,6 +75,35 @@ DEFAULT_PARALLELISM: Mapping[str, int] = {
 
 
 @dataclass(frozen=True, slots=True)
+class BatchingConfig:
+    """Opt-in micro-batching for the model-updating line (DESIGN.md
+    "Model storage backends & batching").
+
+    ``compute_mf`` / ``mf_storage`` bound how many tuples each worker
+    buffers before flushing; ``1`` (the default) is strict per-tuple
+    processing, byte-identical to the unbatched topology.  Buffers flush
+    when full and again at end-of-stream via :meth:`Bolt.flush`, so no
+    tuple is held past the run.  Trade-off: fewer store round-trips per
+    tuple versus update latency of up to one batch and loss of a worker's
+    unflushed buffer if it crashes mid-batch (WAL replay still covers the
+    actions themselves).
+    """
+
+    compute_mf: int = 1
+    mf_storage: int = 1
+
+    def __post_init__(self) -> None:
+        if self.compute_mf < 1:
+            raise ValueError(
+                f"compute_mf batch size must be >= 1, got {self.compute_mf}"
+            )
+        if self.mf_storage < 1:
+            raise ValueError(
+                f"mf_storage batch size must be >= 1, got {self.mf_storage}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
 class IngestConfig:
     """Configuration of the :class:`~repro.topology.bolts.SanitizeBolt`
     ingest-hygiene stage.
@@ -149,6 +178,7 @@ def build_recommendation_topology(
     ingest: IngestConfig | None = None,
     dead_letters: DeadLetterStore | None = None,
     obs: "Observability | None" = None,
+    batching: BatchingConfig | None = None,
 ) -> tuple[Topology, RecommendationSystem]:
     """Assemble the paper's topology over a shared KV store.
 
@@ -189,6 +219,7 @@ def build_recommendation_topology(
     )
     workers = dict(DEFAULT_PARALLELISM)
     workers.update(parallelism or {})
+    batches = batching or BatchingConfig()
 
     builder = TopologyBuilder()
     shared_source = SharedSource(source)
@@ -226,12 +257,13 @@ def build_recommendation_topology(
             variant=system.variant,
             online=system.config.online,
             tracer=obs.tracer if obs is not None else None,
+            batch_size=batches.compute_mf,
         ),
         parallelism=workers[COMPUTE_MF],
     ).fields_grouping(action_source, ["user"], stream=action_stream)
     mf_storage = builder.set_bolt(
         MF_STORAGE,
-        lambda: MFStorageBolt(system.model),
+        lambda: MFStorageBolt(system.model, batch_size=batches.mf_storage),
         parallelism=workers[MF_STORAGE],
     )
     mf_storage.fields_grouping(COMPUTE_MF, ["kind", "key"], stream="user_vec")

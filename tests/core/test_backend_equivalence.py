@@ -1,0 +1,211 @@
+"""Arena and KV parameter layouts must be byte-for-byte interchangeable.
+
+Both backends of :class:`~repro.core.mf.MFModel` run the identical
+float64 arithmetic over identically initialised vectors, so after the
+same seeded action stream every prediction — scalar, batched, and the
+resulting top-N ordering — must match exactly, not approximately.
+Checkpoints and ``.npz`` saves written under one layout must restore into
+the other (layout migration), and the micro-batched training paths must
+reproduce the sequential ones bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clock import VirtualClock
+from repro.config import MFConfig, ReproConfig
+from repro.core import MFModel, OnlineTrainer, RealtimeRecommender
+from repro.kvstore import InMemoryKVStore
+from repro.reliability import CheckpointManager
+
+BACKENDS = ("arena", "kv")
+
+
+def _trained_model(backend, actions, videos):
+    store = InMemoryKVStore()
+    model = MFModel(MFConfig(backend=backend), store=store)
+    trainer = OnlineTrainer(model, videos=videos)
+    trainer.process_stream(actions)
+    return model, trainer, store
+
+
+@pytest.fixture(scope="module")
+def trained_pair(small_world, small_split):
+    actions = small_split.train[:400]
+    arena = _trained_model("arena", actions, small_world.videos)
+    kv = _trained_model("kv", actions, small_world.videos)
+    return arena, kv
+
+
+class TestPredictionEquivalence:
+    def test_same_entities_learned(self, trained_pair):
+        (arena, _, _), (kv, _, _) = trained_pair
+        assert arena.n_users == kv.n_users
+        assert arena.n_videos == kv.n_videos
+        assert sorted(arena.known_videos()) == sorted(kv.known_videos())
+        assert arena.mu == kv.mu
+
+    def test_scalar_predict_identical(self, trained_pair, small_world):
+        (arena, _, _), (kv, _, _) = trained_pair
+        videos = sorted(arena.known_videos())[:20]
+        for user_id in sorted(small_world.users)[:10]:
+            for video_id in videos:
+                assert arena.predict(user_id, video_id) == kv.predict(
+                    user_id, video_id
+                )
+
+    def test_predict_many_identical(self, trained_pair, small_world):
+        (arena, _, _), (kv, _, _) = trained_pair
+        videos = sorted(arena.known_videos())
+        for user_id in sorted(small_world.users)[:10]:
+            a = arena.predict_many(user_id, videos)
+            b = kv.predict_many(user_id, videos)
+            np.testing.assert_array_equal(a, b)
+
+    def test_predict_many_matches_scalar_predict(self, trained_pair):
+        # Same float op order as the scalar loop; only the BLAS
+        # accumulation order inside the dot product may differ, so the
+        # tolerance is a few ULP rather than exact.
+        (arena, trainer, _), _ = trained_pair
+        videos = sorted(arena.known_videos()) + ["never-seen"]
+        user_id = next(iter(sorted(arena._params.ids("user"))))
+        batched = arena.predict_many(user_id, videos)
+        scalar = np.array([arena.predict(user_id, v) for v in videos])
+        np.testing.assert_allclose(batched, scalar, rtol=1e-14, atol=0.0)
+
+    def test_top_n_identical(self, trained_pair, small_world):
+        (arena, _, _), (kv, _, _) = trained_pair
+        videos = sorted(arena.known_videos())
+        for user_id in sorted(small_world.users)[:10]:
+            a = arena.predict_many(user_id, videos)
+            b = kv.predict_many(user_id, videos)
+            rank = lambda s: sorted(  # noqa: E731
+                range(len(videos)), key=lambda i: (-s[i], videos[i])
+            )
+            assert rank(a)[:10] == rank(b)[:10]
+
+
+class TestBatchTrainingEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_process_batch_matches_sequential(
+        self, backend, small_world, small_split
+    ):
+        actions = small_split.train[:200]
+        seq_model, seq_trainer, _ = _trained_model(
+            backend, actions, small_world.videos
+        )
+        batch_model = MFModel(
+            MFConfig(backend=backend), store=InMemoryKVStore()
+        )
+        batch_trainer = OnlineTrainer(batch_model, videos=small_world.videos)
+        for start in range(0, len(actions), 32):
+            batch_trainer.process_batch(list(actions[start : start + 32]))
+        assert batch_model.mu == seq_model.mu
+        assert (
+            batch_trainer.stats.updated == seq_trainer.stats.updated
+        )
+        assert batch_trainer.stats.seen == seq_trainer.stats.seen
+        videos = sorted(seq_model.known_videos())
+        for user_id in sorted(small_world.users)[:10]:
+            np.testing.assert_array_equal(
+                batch_model.predict_many(user_id, videos),
+                seq_model.predict_many(user_id, videos),
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sgd_step_many_matches_loop(self, backend):
+        def fresh():
+            return MFModel(MFConfig(backend=backend), store=InMemoryKVStore())
+
+        steps = [
+            ("u1", "v1", 1.0, 0.01),
+            ("u1", "v2", 2.0, 0.02),
+            ("u2", "v1", 1.5, 0.01),
+            ("u1", "v1", 3.0, 0.03),
+        ]
+        loop = fresh()
+        loop_updates = [loop.sgd_step(*step) for step in steps]
+        batched = fresh()
+        batch_updates = batched.sgd_step_many(steps)
+        for a, b in zip(loop_updates, batch_updates):
+            assert a.error == b.error
+            np.testing.assert_array_equal(a.x_u, b.x_u)
+            np.testing.assert_array_equal(a.y_i, b.y_i)
+            assert a.b_u == b.b_u
+            assert a.b_i == b.b_i
+        for vid in ("v1", "v2"):
+            np.testing.assert_array_equal(
+                loop.video_vector(vid), batched.video_vector(vid)
+            )
+
+
+class TestCrossBackendPersistence:
+    @pytest.mark.parametrize("src,dst", [("arena", "kv"), ("kv", "arena")])
+    def test_checkpoint_restores_into_other_backend(
+        self, src, dst, small_world, small_split, tmp_path
+    ):
+        actions = small_split.train[:300]
+        src_model, _, src_store = _trained_model(
+            src, actions, small_world.videos
+        )
+        manager = CheckpointManager(tmp_path / "ckpts", fsync=False)
+        info = manager.create(
+            src_store, metadata={"mf_backend": src}
+        )
+        assert info.metadata["mf_backend"] == src
+
+        dst_store = InMemoryKVStore()
+        manager.restore(info, dst_store)
+        # Construct AFTER restore: the new model migrates the layout.
+        dst_model = MFModel(MFConfig(backend=dst), store=dst_store)
+        assert dst_model.mu == src_model.mu
+        assert dst_model.n_users == src_model.n_users
+        videos = sorted(src_model.known_videos())
+        assert sorted(dst_model.known_videos()) == videos
+        for user_id in sorted(small_world.users)[:10]:
+            np.testing.assert_array_equal(
+                dst_model.predict_many(user_id, videos),
+                src_model.predict_many(user_id, videos),
+            )
+
+    @pytest.mark.parametrize("src,dst", [("arena", "kv"), ("kv", "arena")])
+    def test_npz_save_load_across_backends(
+        self, src, dst, small_world, small_split, tmp_path
+    ):
+        actions = small_split.train[:200]
+        src_model, _, _ = _trained_model(src, actions, small_world.videos)
+        path = str(tmp_path / "model.npz")
+        src_model.save(path)
+        dst_model = MFModel(MFConfig(backend=dst), store=InMemoryKVStore())
+        dst_model.load(path)
+        assert dst_model.mu == src_model.mu
+        videos = sorted(src_model.known_videos())
+        for user_id in ("u0", "u1", "u2"):
+            np.testing.assert_array_equal(
+                dst_model.predict_many(user_id, videos),
+                src_model.predict_many(user_id, videos),
+            )
+
+
+class TestRecommenderEquivalence:
+    def test_end_to_end_recommendations_identical(
+        self, small_world, small_split
+    ):
+        def build(backend):
+            rec = RealtimeRecommender(
+                small_world.videos,
+                users=small_world.users,
+                config=ReproConfig().with_overrides(mf={"backend": backend}),
+                clock=VirtualClock(0.0),
+                enable_demographic=True,
+            )
+            rec.observe_stream(small_split.train[:500])
+            return rec
+
+        arena_rec = build("arena")
+        kv_rec = build("kv")
+        now = max(a.timestamp for a in small_split.train[:500]) + 1.0
+        for user_id in sorted(small_world.users)[:15]:
+            assert arena_rec.recommend_ids(
+                user_id, n=10, now=now
+            ) == kv_rec.recommend_ids(user_id, n=10, now=now)

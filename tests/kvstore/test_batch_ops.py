@@ -1,0 +1,188 @@
+"""Batch read/write (``mget``/``mput``) across every store implementation.
+
+The contract (``kvstore/store.py``): results and versions come back in
+input order, missing/expired keys yield the default, duplicates are
+resolved independently on read and written in order (last wins) on write,
+and wrappers must route batches through their inner store's batch ops so
+sharding/caching/instrumentation/fault-injection all see them.
+"""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.reliability.overload import CircuitBreaker
+from repro.errors import CircuitOpenError, TransientKVError
+from repro.kvstore import (
+    BreakerKVStore,
+    InMemoryKVStore,
+    Namespace,
+    ReadThroughCache,
+    ShardedKVStore,
+)
+from repro.obs import Observability
+from repro.reliability import FlakyKVStore
+
+
+def _stores():
+    return {
+        "memory": InMemoryKVStore(),
+        "sharded": ShardedKVStore(n_shards=4),
+        "cache": ReadThroughCache(InMemoryKVStore(), capacity=8),
+        "namespace": Namespace(InMemoryKVStore(), "ns"),
+    }
+
+
+@pytest.fixture(params=["memory", "sharded", "cache", "namespace"])
+def store(request):
+    return _stores()[request.param]
+
+
+class TestMget:
+    def test_results_in_input_order(self, store):
+        for i in range(10):
+            store.put(f"k{i}", i)
+        keys = [f"k{i}" for i in (7, 2, 9, 0, 4)]
+        assert store.mget(keys) == [7, 2, 9, 0, 4]
+
+    def test_missing_keys_get_default(self, store):
+        store.put("present", 1)
+        assert store.mget(["absent", "present", "gone"], default=-1) == [
+            -1,
+            1,
+            -1,
+        ]
+
+    def test_duplicate_keys_resolved_independently(self, store):
+        store.put("dup", "x")
+        assert store.mget(["dup", "dup", "missing"]) == ["x", "x", None]
+
+    def test_empty_batch(self, store):
+        assert store.mget([]) == []
+
+    def test_matches_scalar_gets(self, store):
+        for i in range(6):
+            store.put(f"k{i}", i * i)
+        keys = [f"k{i}" for i in range(8)]  # two misses at the tail
+        assert store.mget(keys) == [store.get(k) for k in keys]
+
+
+class TestMput:
+    def test_writes_all_and_returns_versions(self, store):
+        versions = store.mput([(f"k{i}", i) for i in range(5)])
+        assert len(versions) == 5
+        assert all(isinstance(v, int) for v in versions)
+        assert store.mget([f"k{i}" for i in range(5)]) == list(range(5))
+
+    def test_duplicate_keys_last_wins(self, store):
+        store.mput([("k", "first"), ("k", "second")])
+        assert store.get("k") == "second"
+
+    def test_versions_advance(self, store):
+        (v1,) = store.mput([("k", "a")])
+        (v2,) = store.mput([("k", "b")])
+        assert v2 > v1
+
+    def test_empty_batch(self, store):
+        assert store.mput([]) == []
+
+
+class TestTTL:
+    def test_expired_entries_read_as_default(self):
+        clock = VirtualClock(0.0)
+        store = InMemoryKVStore(clock=clock)
+        store.mput([("a", 1), ("b", 2)], ttl=10.0)
+        clock.advance(11.0)
+        assert store.mget(["a", "b"], default="gone") == ["gone", "gone"]
+
+
+class TestShardedRouting:
+    def test_batch_reaches_every_shard(self):
+        store = ShardedKVStore(n_shards=4)
+        keys = [f"k{i}" for i in range(32)]
+        store.mput([(k, k.upper()) for k in keys])
+        assert store.mget(keys) == [k.upper() for k in keys]
+        # Every key is readable from its owning shard via scalar get too.
+        assert [store.get(k) for k in keys] == [k.upper() for k in keys]
+
+
+class TestCacheSemantics:
+    def test_mget_serves_hits_from_cache_and_fills_misses(self):
+        backing = InMemoryKVStore()
+        cache = ReadThroughCache(backing, capacity=8)
+        backing.put("a", 1)
+        backing.put("b", 2)
+        cache.get("a")  # warm one key
+        hits_before = cache.hits
+        assert cache.mget(["a", "b"]) == [1, 2]
+        assert cache.hits == hits_before + 1  # "a" from cache, "b" fetched
+        # "b" is now cached: a backing change is not visible until eviction.
+        backing.put("b", 99)
+        assert cache.mget(["b"]) == [2]
+
+    def test_mput_updates_cache_and_backing(self):
+        backing = InMemoryKVStore()
+        cache = ReadThroughCache(backing, capacity=8)
+        cache.mput([("x", 1), ("y", 2)])
+        assert backing.get("x") == 1
+        assert cache.mget(["x", "y"]) == [1, 2]
+
+
+class TestNamespaceIsolation:
+    def test_batches_stay_inside_the_namespace(self):
+        backing = InMemoryKVStore()
+        left = Namespace(backing, "left")
+        right = Namespace(backing, "right")
+        left.mput([("k", "L")])
+        right.mput([("k", "R")])
+        assert left.mget(["k"]) == ["L"]
+        assert right.mget(["k"]) == ["R"]
+
+
+class TestBreaker:
+    def test_batch_counts_as_one_operation(self):
+        flaky = FlakyKVStore(InMemoryKVStore())
+        breaker = BreakerKVStore(
+            flaky,
+            CircuitBreaker(
+                failure_threshold=2,
+                reset_timeout=60.0,
+                clock=VirtualClock(0.0),
+            ),
+        )
+        breaker.mput([(f"k{i}", i) for i in range(4)])
+        assert breaker.mget([f"k{i}" for i in range(4)]) == list(range(4))
+        flaky.fail_next(2)
+        with pytest.raises(TransientKVError):
+            breaker.mget(["k0"])
+        with pytest.raises(TransientKVError):
+            breaker.mget(["k0"])
+        with pytest.raises(CircuitOpenError):
+            breaker.mget(["k0"])  # breaker now open
+
+
+class TestFaultInjection:
+    def test_flaky_store_fallback_goes_through_injection(self):
+        # FlakyKVStore does not override mget/mput: the base-class loop
+        # fallback must route through the injected scalar ops.
+        flaky = FlakyKVStore(InMemoryKVStore())
+        flaky.mput([("a", 1), ("b", 2)])
+        flaky.fail_next(1)
+        with pytest.raises(TransientKVError):
+            flaky.mget(["a", "b"])
+        assert flaky.errors_raised == 1
+
+
+class TestInstrumented:
+    def test_batch_ops_counted_with_key_totals(self):
+        obs = Observability.deterministic()
+        store = obs.instrument_store(InMemoryKVStore())
+        store.mput([(f"k{i}", i) for i in range(3)])
+        store.mget([f"k{i}" for i in range(5)])
+        doc = obs.registry.snapshot()
+        batch = doc["kvstore_batch_keys_total"]
+        by_op = {
+            tuple(sorted(series["labels"].items())): series["value"]
+            for series in batch["series"]
+        }
+        assert by_op[(("op", "mput"),)] == 3
+        assert by_op[(("op", "mget"),)] == 5
