@@ -1,10 +1,20 @@
-"""Serving layer: request routing, scenario accounting, load generation.
+"""Serving layer: request routing, the HTTP gateway, load generation.
 
 Reproduces the operational envelope the paper quotes for production —
 millisecond request latency under concurrent traffic while the model keeps
-updating in real time (§4.1, §6).
+updating in real time (§4.1, §6).  :class:`ServingGateway` puts the
+router behind real sockets with request coalescing;
+:class:`HttpLoadGenerator` drives it open-loop for saturation
+experiments.
 """
 
+from .gateway import (
+    GatewayConfig,
+    GatewayThread,
+    RequestCollector,
+    ServingGateway,
+)
+from .httpload import HttpLoadGenerator, HttpLoadReport, http_get_json
 from .loadgen import LoadGenerator, LoadReport
 from .router import (
     Outcome,
@@ -24,4 +34,11 @@ __all__ = [
     "Outcome",
     "LoadGenerator",
     "LoadReport",
+    "GatewayConfig",
+    "GatewayThread",
+    "RequestCollector",
+    "ServingGateway",
+    "HttpLoadGenerator",
+    "HttpLoadReport",
+    "http_get_json",
 ]

@@ -1,0 +1,778 @@
+"""Async HTTP serving gateway — the system's network face (§4.1, §6.2).
+
+Every layer built so far — router, admission control, breakers,
+micro-batched scoring — is reached by in-process function calls.  The
+paper's deployment is a *service*: "handling millions of user requests
+every day, with latency of milliseconds" arrives over sockets.
+:class:`ServingGateway` is that boundary, a dependency-light asyncio
+HTTP/1.1 front-end over :class:`~repro.serving.router.RequestRouter`:
+
+* ``POST /recommend`` — serve one recommendation request;
+* ``POST /ingest``   — feed one user action into the live trainer;
+* ``GET  /metrics``  — the schema-versioned
+  :meth:`~repro.obs.MetricsRegistry.to_json` document;
+* ``GET  /healthz``  — liveness + breaker/supervisor state;
+* ``GET  /snapshot`` — the router's per-scenario counters plus the
+  gateway's own connection/coalescing statistics.
+
+**Request coalescing.** Concurrent in-flight ``/recommend`` requests are
+not dispatched one by one: a :class:`RequestCollector` buffers them for up
+to ``batch_window_ms`` (or until ``batch_max`` accumulate, mirroring
+:class:`~repro.topology.BatchingConfig`'s flush-on-full semantics) and
+hands the whole batch to one :meth:`RequestRouter.handle_many` call on a
+worker thread.  That realises the vectorized model plane's batched-scoring
+win *across connections* — the batch a single caller used to have to
+assemble now assembles itself from independent sockets.
+
+**Overload semantics on the wire.**  The router's outcome enum maps onto
+HTTP statuses faithfully (DESIGN.md "Serving over HTTP"):
+
+=====================  ======================================
+router outcome         HTTP response
+=====================  ======================================
+``OK``                 ``200`` + recommendations
+``DEGRADED``           ``200`` + ``X-Repro-Degraded: 1``
+``SHED``               ``503`` + ``Retry-After``
+``DEADLINE_EXCEEDED``  ``504``
+``ERROR``              ``500``
+=====================  ======================================
+
+Connections beyond ``max_connections`` are answered ``503`` and closed
+before any routing work, the socket-level analogue of admission shedding.
+
+Everything here is standard-library asyncio: no aiohttp/FastAPI import,
+so the gateway runs wherever the rest of the repo does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Awaitable, Callable
+
+from ..data.schema import ActionType, UserAction
+from ..errors import DataError
+from .router import Outcome, RecRequest, RecResponse, RequestRouter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Observability
+    from ..reliability.overload import CircuitBreaker
+    from ..reliability.supervisor import Supervisor
+
+__all__ = [
+    "GatewayConfig",
+    "RequestCollector",
+    "ServingGateway",
+    "GatewayThread",
+]
+
+#: Canonical reason phrases for the statuses the gateway emits.
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Upper bound on one request's header block, defensive.
+_MAX_HEADER_BYTES = 16 * 1024
+
+
+@dataclass(frozen=True, slots=True)
+class GatewayConfig:
+    """Tunables of one :class:`ServingGateway`.
+
+    ``batch_window_ms``/``batch_max`` bound the request-coalescing
+    collector exactly like :class:`~repro.topology.BatchingConfig` bounds
+    the trainer bolts: a batch flushes when it is full *or* when the
+    oldest request has waited the whole window.  ``batch_window_ms=0``
+    still coalesces whatever arrived while the previous batch was being
+    served (greedy drain), so a loaded gateway batches even with no timer.
+
+    ``deadline_ms`` is the default per-request latency budget stamped on
+    requests that do not carry their own ``deadline_ms`` field;
+    ``None`` disables the default.  ``max_connections`` bounds
+    concurrently open sockets; excess connections get an immediate
+    ``503`` + ``Retry-After`` and are closed.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral, read the bound port off the gateway
+    max_connections: int = 256
+    deadline_ms: float | None = None
+    batch_window_ms: float = 2.0
+    batch_max: int = 64
+    max_body_bytes: int = 64 * 1024
+    retry_after_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {self.max_connections}"
+            )
+        if self.batch_window_ms < 0:
+            raise ValueError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        if self.batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {self.batch_max}")
+        if self.deadline_ms is not None and self.deadline_ms < 0:
+            raise ValueError(
+                f"deadline_ms must be >= 0, got {self.deadline_ms}"
+            )
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+
+
+@dataclass(slots=True)
+class _HttpRequest:
+    """One parsed HTTP/1.1 request."""
+
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive") != "close"
+
+
+class _HttpError(Exception):
+    """Abort the current request with a specific status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class RequestCollector:
+    """Coalesce concurrent recommendation requests into ``handle_many``.
+
+    Requests :meth:`submit`-ted while a batch is open join it; the batch
+    flushes when ``batch_max`` requests accumulate or ``window_seconds``
+    after its first request, whichever comes first.  The flush runs
+    :meth:`RequestRouter.handle_many` on the event loop's default thread
+    pool, so the loop keeps accepting (and coalescing) new requests while
+    a batch is being served — that concurrency is exactly what makes
+    batches form under load.
+
+    Per-batch sizes are recorded in a bounded histogram
+    (:meth:`coalesce_snapshot`) and, when a registry is attached, the
+    ``gateway_coalesced_batch_size`` histogram.
+    """
+
+    def __init__(
+        self,
+        router: RequestRouter,
+        batch_max: int = 64,
+        window_seconds: float = 0.002,
+        obs: "Observability | None" = None,
+    ) -> None:
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if window_seconds < 0:
+            raise ValueError("window_seconds must be >= 0")
+        self.router = router
+        self.batch_max = batch_max
+        self.window_seconds = window_seconds
+        self._pending: list[tuple[RecRequest, asyncio.Future]] = []
+        self._flush_handle: asyncio.TimerHandle | None = None
+        self._batch_sizes: dict[int, int] = {}
+        self._batches = 0
+        self._coalesced_requests = 0
+        self._stats_lock = threading.Lock()
+        self._size_hist = (
+            obs.registry.histogram(
+                "gateway_coalesced_batch_size",
+                "Requests coalesced into one handle_many call",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+            )
+            if obs is not None
+            else None
+        )
+
+    async def submit(self, request: RecRequest) -> RecResponse:
+        """Enqueue one request and await its (batched) response."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((request, future))
+        if len(self._pending) >= self.batch_max:
+            self._flush(loop)
+        elif self._flush_handle is None:
+            # First request of a new batch arms the window timer.  A zero
+            # window flushes on the next loop tick — requests that arrived
+            # in the same tick (or while a previous batch was serving)
+            # still coalesce.
+            self._flush_handle = loop.call_later(
+                self.window_seconds, self._flush, loop
+            )
+        return await future
+
+    def _flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        self._record_batch(len(batch))
+        requests = [request for request, _ in batch]
+        futures = [future for _, future in batch]
+        task = loop.run_in_executor(None, self.router.handle_many, requests)
+        task.add_done_callback(
+            lambda done: self._resolve(futures, done)
+        )
+
+    @staticmethod
+    def _resolve(futures: list[asyncio.Future], done: asyncio.Future) -> None:
+        exc = done.exception()
+        for i, future in enumerate(futures):
+            if future.cancelled():
+                continue
+            if exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(done.result()[i])
+
+    def _record_batch(self, size: int) -> None:
+        with self._stats_lock:
+            self._batches += 1
+            self._coalesced_requests += size
+            self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
+        if self._size_hist is not None:
+            self._size_hist.observe(size)
+
+    def coalesce_snapshot(self) -> dict:
+        """Plain-dict coalescing statistics (for ``/snapshot`` and benches)."""
+        with self._stats_lock:
+            sizes = dict(sorted(self._batch_sizes.items()))
+            batches = self._batches
+            total = self._coalesced_requests
+        return {
+            "batches": batches,
+            "requests": total,
+            "mean_batch_size": (total / batches) if batches else 0.0,
+            "max_batch_size": max(sizes) if sizes else 0,
+            "batch_size_counts": {str(k): v for k, v in sizes.items()},
+        }
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> _HttpRequest | None:
+    """Parse one HTTP/1.1 request; ``None`` on clean EOF before a request."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # client closed between requests — normal
+        raise _HttpError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise _HttpError(413, "request head too large") from exc
+    if len(head) > _MAX_HEADER_BYTES:
+        raise _HttpError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise _HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise _HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError as exc:
+        raise _HttpError(400, f"bad Content-Length: {raw_length!r}") from exc
+    if length < 0:
+        raise _HttpError(400, f"bad Content-Length: {raw_length!r}")
+    if length > max_body_bytes:
+        raise _HttpError(413, f"body of {length} bytes exceeds limit")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise _HttpError(400, "truncated request body") from exc
+    # Strip any query string — endpoints here take parameters in the body.
+    path = target.split("?", 1)[0]
+    return _HttpRequest(method=method, path=path, headers=headers, body=body)
+
+
+def _response_bytes(
+    status: int,
+    payload: dict,
+    extra_headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    headers = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body
+
+
+def _parse_action(doc: dict) -> UserAction:
+    """Build a :class:`UserAction` from an ``/ingest`` JSON document."""
+    try:
+        action_type = ActionType.parse(str(doc["action"]))
+        return UserAction(
+            timestamp=float(doc["timestamp"]),
+            user_id=str(doc["user_id"]),
+            video_id=str(doc["video_id"]),
+            action=action_type,
+            view_time=float(doc.get("view_time", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError, DataError) as exc:
+        raise _HttpError(400, f"bad action: {exc}") from exc
+
+
+class ServingGateway:
+    """Asyncio HTTP server over a :class:`RequestRouter`.
+
+    ``observe`` is the live-training sink ``POST /ingest`` feeds (e.g.
+    ``RealtimeRecommender.observe``); omit it and ``/ingest`` answers
+    ``503``.  ``obs`` wires gateway metrics
+    (``gateway_http_requests_total``, ``gateway_open_connections``,
+    ``gateway_coalesced_batch_size``, ``gateway_connections_rejected_total``)
+    into the same registry ``/metrics`` serves.  ``breaker`` and
+    ``supervisor`` default to the router's own breaker and feed
+    ``/healthz``.
+
+    Lifecycle: ``await start()`` binds the socket (``port`` then reports
+    the real port when the config asked for 0), ``await stop()`` closes
+    it.  Synchronous callers — tests, benchmarks, the CLI — use
+    :class:`GatewayThread` instead.
+    """
+
+    def __init__(
+        self,
+        router: RequestRouter,
+        config: GatewayConfig | None = None,
+        observe: Callable[[UserAction], None] | None = None,
+        obs: "Observability | None" = None,
+        supervisor: "Supervisor | None" = None,
+        breaker: "CircuitBreaker | None" = None,
+    ) -> None:
+        self.router = router
+        self.config = config or GatewayConfig()
+        self.observe = observe
+        self.obs = obs
+        self.supervisor = supervisor
+        self.breaker = breaker if breaker is not None else router.breaker
+        self.collector = RequestCollector(
+            router,
+            batch_max=self.config.batch_max,
+            window_seconds=self.config.batch_window_ms / 1000.0,
+            obs=obs,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._open_connections = 0
+        self._rejected_connections = 0
+        self._ingested = 0
+        self._conn_lock = threading.Lock()
+        if obs is not None:
+            self._http_counter = obs.registry.counter(
+                "gateway_http_requests_total",
+                "HTTP requests served by the gateway, by path and status",
+                labelnames=("path", "status"),
+            )
+            self._conn_gauge = obs.registry.gauge(
+                "gateway_open_connections",
+                "Currently open gateway connections",
+            )
+            self._rejected_counter = obs.registry.counter(
+                "gateway_connections_rejected_total",
+                "Connections refused because max_connections was reached",
+            )
+        else:
+            self._http_counter = None
+            self._conn_gauge = None
+            self._rejected_counter = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("gateway already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=max(self.config.max_body_bytes, _MAX_HEADER_BYTES) + 1024,
+        )
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (resolves an ephemeral ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("gateway not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _track_connection(self, delta: int) -> int:
+        with self._conn_lock:
+            self._open_connections += delta
+            count = self._open_connections
+        if self._conn_gauge is not None:
+            self._conn_gauge.set(count)
+        return count
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._track_connection(+1) > self.config.max_connections:
+            # Socket-level shedding: answer and close before any routing.
+            with self._conn_lock:
+                self._rejected_connections += 1
+            if self._rejected_counter is not None:
+                self._rejected_counter.inc()
+            await self._finish(
+                writer,
+                _response_bytes(
+                    503,
+                    {"error": "too many connections"},
+                    extra_headers={
+                        "Retry-After": _retry_after(
+                            self.config.retry_after_seconds
+                        )
+                    },
+                    keep_alive=False,
+                ),
+            )
+            self._track_connection(-1)
+            return
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            self._track_connection(-1)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # client went away mid-close
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                request = await _read_request(
+                    reader, self.config.max_body_bytes
+                )
+            except _HttpError as exc:
+                await self._finish(
+                    writer,
+                    _response_bytes(
+                        exc.status, {"error": exc.message}, keep_alive=False
+                    ),
+                )
+                return
+            except (ConnectionError, OSError):
+                return
+            if request is None:
+                return
+            status, payload, extra = await self._dispatch(request)
+            if self._http_counter is not None:
+                self._http_counter.labels(
+                    path=request.path, status=str(status)
+                ).inc()
+            try:
+                await self._finish(
+                    writer,
+                    _response_bytes(
+                        status,
+                        payload,
+                        extra_headers=extra,
+                        keep_alive=request.keep_alive,
+                    ),
+                )
+            except (ConnectionError, OSError):
+                return
+            if not request.keep_alive:
+                return
+
+    @staticmethod
+    async def _finish(writer: asyncio.StreamWriter, data: bytes) -> None:
+        writer.write(data)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Endpoint dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch(
+        self, request: _HttpRequest
+    ) -> tuple[int, dict, dict[str, str] | None]:
+        routes: dict[
+            tuple[str, str],
+            Callable[[_HttpRequest], Awaitable[tuple[int, dict, dict | None]]],
+        ] = {
+            ("POST", "/recommend"): self._recommend,
+            ("POST", "/ingest"): self._ingest,
+            ("GET", "/metrics"): self._metrics,
+            ("GET", "/healthz"): self._healthz,
+            ("GET", "/snapshot"): self._snapshot,
+        }
+        known_paths = {path for _, path in routes}
+        handler = routes.get((request.method, request.path))
+        if handler is None:
+            if request.path in known_paths:
+                return 405, {"error": f"method {request.method} not allowed"}, None
+            return 404, {"error": f"no such endpoint: {request.path}"}, None
+        try:
+            return await handler(request)
+        except _HttpError as exc:
+            return exc.status, {"error": exc.message}, None
+        except Exception as exc:  # noqa: BLE001 - service isolation boundary
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, None
+
+    def _json_body(self, request: _HttpRequest) -> dict:
+        try:
+            doc = json.loads(request.body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise _HttpError(400, "JSON body must be an object")
+        return doc
+
+    async def _recommend(
+        self, request: _HttpRequest
+    ) -> tuple[int, dict, dict[str, str] | None]:
+        doc = self._json_body(request)
+        if "user_id" not in doc:
+            raise _HttpError(400, "missing required field: user_id")
+        deadline_ms = doc.get("deadline_ms", self.config.deadline_ms)
+        try:
+            rec_request = RecRequest(
+                user_id=str(doc["user_id"]),
+                current_video=(
+                    str(doc["current_video"])
+                    if doc.get("current_video") is not None
+                    else None
+                ),
+                n=int(doc.get("n", 10)),
+                timestamp=(
+                    float(doc["timestamp"])
+                    if doc.get("timestamp") is not None
+                    else None
+                ),
+                deadline_seconds=(
+                    float(deadline_ms) / 1000.0
+                    if deadline_ms is not None
+                    else None
+                ),
+            )
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f"bad request field: {exc}") from exc
+        response = await self.collector.submit(rec_request)
+        return self._map_outcome(response)
+
+    def _map_outcome(
+        self, response: RecResponse
+    ) -> tuple[int, dict, dict[str, str] | None]:
+        """The router-outcome → HTTP-status contract (one place, tested)."""
+        base = {
+            "user_id": response.request.user_id,
+            "scenario": response.request.scenario.value,
+            "latency_ms": response.latency_seconds * 1000.0,
+        }
+        outcome = response.outcome
+        if outcome is Outcome.SHED:
+            base["error"] = "shed"
+            if response.shed_reason is not None:
+                base["reason"] = response.shed_reason
+            retry = {"Retry-After": _retry_after(self.config.retry_after_seconds)}
+            return 503, base, retry
+        if outcome is Outcome.DEADLINE_EXCEEDED:
+            base["error"] = "deadline exceeded"
+            return 504, base, None
+        if outcome is Outcome.ERROR:
+            base["error"] = response.error or "internal error"
+            return 500, base, None
+        base["video_ids"] = list(response.video_ids)
+        if outcome is Outcome.DEGRADED:
+            return 200, base, {"X-Repro-Degraded": "1"}
+        return 200, base, None
+
+    async def _ingest(
+        self, request: _HttpRequest
+    ) -> tuple[int, dict, dict[str, str] | None]:
+        if self.observe is None:
+            return 503, {"error": "ingest is not wired on this gateway"}, None
+        action = _parse_action(self._json_body(request))
+        loop = asyncio.get_running_loop()
+        # The trainer touches the (locked) KV store — keep it off the loop.
+        await loop.run_in_executor(None, self.observe, action)
+        with self._conn_lock:
+            self._ingested += 1
+            total = self._ingested
+        return 202, {"ingested": total}, None
+
+    async def _metrics(
+        self, request: _HttpRequest
+    ) -> tuple[int, dict, dict[str, str] | None]:
+        if self.obs is None:
+            return 200, {"metrics": None, "detail": "no registry attached"}, None
+        return 200, json.loads(self.obs.registry.to_json()), None
+
+    async def _healthz(
+        self, request: _HttpRequest
+    ) -> tuple[int, dict, dict[str, str] | None]:
+        breaker_state = (
+            self.breaker.state.value if self.breaker is not None else None
+        )
+        supervisor_given_up = (
+            self.supervisor.gave_up() if self.supervisor is not None else 0
+        )
+        healthy = breaker_state != "open" and supervisor_given_up == 0
+        payload = {
+            "status": "ok" if healthy else "degraded",
+            "breaker": breaker_state,
+            "supervisor_gave_up": supervisor_given_up,
+            "open_connections": self._open_connections,
+        }
+        return (200 if healthy else 503), payload, None
+
+    async def _snapshot(
+        self, request: _HttpRequest
+    ) -> tuple[int, dict, dict[str, str] | None]:
+        with self._conn_lock:
+            gateway = {
+                "open_connections": self._open_connections,
+                "rejected_connections": self._rejected_connections,
+                "ingested": self._ingested,
+            }
+        payload = {
+            "router": self.router.snapshot(),
+            "coalescing": self.collector.coalesce_snapshot(),
+            "gateway": gateway,
+        }
+        return 200, payload, None
+
+
+def _retry_after(seconds: float) -> str:
+    """Retry-After wants integral seconds; round up so 0.5 isn't 'now'."""
+    return str(max(1, int(seconds + 0.999)))
+
+
+class GatewayThread:
+    """Run a :class:`ServingGateway` on a background event loop.
+
+    The rest of the repo (tests, benchmarks, the CLI's load path) is
+    synchronous; this context manager owns a daemon thread with its own
+    asyncio loop, starts the gateway, exposes the bound ``port``, and
+    tears everything down on exit::
+
+        with GatewayThread(gateway) as running:
+            resp = http.client.HTTPConnection("127.0.0.1", running.port)
+    """
+
+    def __init__(self, gateway: ServingGateway, startup_timeout: float = 10.0):
+        self.gateway = gateway
+        self.startup_timeout = startup_timeout
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        return self.gateway.port
+
+    @property
+    def host(self) -> str:
+        return self.gateway.config.host
+
+    def __enter__(self) -> "GatewayThread":
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="gateway-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(self.startup_timeout):
+            raise RuntimeError("gateway failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("gateway failed to start") from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> None:
+            try:
+                await self.gateway.start()
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                self._startup_error = exc
+                raise
+            finally:
+                self._started.set()
+
+        try:
+            self._loop.run_until_complete(main())
+            self._loop.run_forever()
+        except BaseException:  # noqa: BLE001 - loop thread must not crash silently
+            pass
+        finally:
+            pending = asyncio.all_tasks(self._loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            self._loop.close()
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._loop is not None and self._thread is not None
+        stopping = asyncio.run_coroutine_threadsafe(
+            self.gateway.stop(), self._loop
+        )
+        try:
+            stopping.result(timeout=self.startup_timeout)
+        except Exception:  # noqa: BLE001 - best-effort shutdown
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=self.startup_timeout)

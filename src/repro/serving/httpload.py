@@ -1,0 +1,323 @@
+"""Open-loop HTTP load generation against a live gateway.
+
+:meth:`~repro.serving.loadgen.LoadGenerator.run_offered` proved the
+open-loop principle in-process on a virtual clock; this module evolves it
+onto real sockets.  :class:`HttpLoadGenerator` *offers* a fixed arrival
+schedule (request ``i`` departs at ``start + i/qps`` of wall time,
+regardless of how the gateway copes) by spawning one asyncio task per
+arrival — a slow or saturated server makes requests pile up concurrently
+instead of slowing the offered rate down, which is exactly what a
+saturation experiment needs and what a closed loop can never produce.
+
+Each request is its own TCP connection by default (the worst case for the
+server, and the honest one for measuring connection handling); set
+``connections_per_request=False`` to reuse a pool of keep-alive
+connections instead.  Responses are bucketed by HTTP status, so the
+router's overload contract (200/503/504/500) is measured on the wire, and
+latency percentiles are computed over 2xx responses only — shed requests
+must not flatter the distribution, the same accounting rule the router's
+own stats use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs.percentiles import nearest_rank
+
+__all__ = ["HttpLoadReport", "HttpLoadGenerator", "http_get_json"]
+
+
+@dataclass(frozen=True, slots=True)
+class HttpLoadReport:
+    """Outcome of one open-loop run against a gateway.
+
+    ``offered`` counts every scheduled arrival; ``status_counts`` buckets
+    the responses actually received by HTTP status; ``connect_errors``
+    counts arrivals that never got a response (refused/reset sockets —
+    the symptom of the connection cap).  Latency fields describe 2xx
+    responses only.
+    """
+
+    offered: int
+    offered_qps: float
+    elapsed_seconds: float
+    status_counts: dict[int, int] = field(default_factory=dict)
+    connect_errors: int = 0
+    latencies_ms: tuple[float, ...] = ()
+
+    @property
+    def completed(self) -> int:
+        return sum(self.status_counts.values())
+
+    @property
+    def ok(self) -> int:
+        """2xx responses (includes degraded 200s)."""
+        return sum(
+            count
+            for status, count in self.status_counts.items()
+            if 200 <= status < 300
+        )
+
+    @property
+    def shed(self) -> int:
+        return self.status_counts.get(503, 0)
+
+    @property
+    def deadline_exceeded(self) -> int:
+        return self.status_counts.get(504, 0)
+
+    @property
+    def errors(self) -> int:
+        return self.status_counts.get(500, 0) + self.connect_errors
+
+    @property
+    def achieved_qps(self) -> float:
+        if not self.elapsed_seconds:
+            return 0.0
+        return self.ok / self.elapsed_seconds
+
+    def percentile(self, p: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return nearest_rank(list(self.latencies_ms), p)
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95_ms(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def mean_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.mean(self.latencies_ms))
+
+
+async def _read_http_response(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str], bytes]:
+    """Parse one HTTP/1.1 response off ``reader``."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body
+
+
+def _request_bytes(path: str, host: str, doc: dict) -> bytes:
+    body = json.dumps(doc).encode("utf-8")
+    head = (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def http_get_json(
+    host: str, port: int, path: str, timeout: float = 10.0
+) -> tuple[int, dict[str, str], dict]:
+    """One synchronous GET returning ``(status, headers, parsed body)``.
+
+    Convenience for tests and benchmarks that poke ``/metrics``,
+    ``/healthz`` or ``/snapshot`` without an event loop of their own.
+    """
+
+    async def fetch() -> tuple[int, dict[str, str], bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                (
+                    f"GET {path} HTTP/1.1\r\n"
+                    f"Host: {host}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+            await writer.drain()
+            return await _read_http_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    status, headers, body = asyncio.run(asyncio.wait_for(fetch(), timeout))
+    return status, headers, json.loads(body or b"{}")
+
+
+class HttpLoadGenerator:
+    """Offer a fixed request rate to a gateway over real TCP connections."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        user_ids: list[str],
+        video_ids: list[str],
+        related_fraction: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if not user_ids or not video_ids:
+            raise ValueError("need at least one user and one video")
+        if not 0 <= related_fraction <= 1:
+            raise ValueError("related_fraction must be in [0, 1]")
+        self.host = host
+        self.port = port
+        self.user_ids = list(user_ids)
+        self.video_ids = list(video_ids)
+        self.related_fraction = related_fraction
+        self.seed = seed
+
+    def _make_doc(
+        self,
+        rng: np.random.Generator,
+        n: int,
+        deadline_ms: float | None,
+        timestamp: float | None,
+    ) -> dict:
+        doc: dict = {
+            "user_id": self.user_ids[rng.integers(0, len(self.user_ids))],
+            "n": n,
+        }
+        if rng.random() < self.related_fraction:
+            doc["current_video"] = self.video_ids[
+                rng.integers(0, len(self.video_ids))
+            ]
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
+        if timestamp is not None:
+            doc["timestamp"] = timestamp
+        return doc
+
+    async def _one_request(
+        self,
+        doc: dict,
+        timeout: float,
+        statuses: dict[int, int],
+        latencies: list[float],
+        errors: list[int],
+        lock: threading.Lock,
+    ) -> None:
+        started = time.perf_counter()
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), timeout
+            )
+            try:
+                writer.write(_request_bytes("/recommend", self.host, doc))
+                await writer.drain()
+                status, _headers, _body = await asyncio.wait_for(
+                    _read_http_response(reader), timeout
+                )
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+        except (ConnectionError, OSError, asyncio.TimeoutError, EOFError):
+            with lock:
+                errors[0] += 1
+            return
+        except asyncio.IncompleteReadError:
+            with lock:
+                errors[0] += 1
+            return
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        with lock:
+            statuses[status] = statuses.get(status, 0) + 1
+            if 200 <= status < 300:
+                latencies.append(elapsed_ms)
+
+    async def _run(
+        self,
+        total_requests: int,
+        qps: float,
+        n: int,
+        deadline_ms: float | None,
+        timestamp: float | None,
+        timeout: float,
+    ) -> HttpLoadReport:
+        rng = np.random.default_rng(self.seed * 1009)
+        statuses: dict[int, int] = {}
+        latencies: list[float] = []
+        errors = [0]
+        lock = threading.Lock()
+        interval = 1.0 / qps
+        tasks: list[asyncio.Task] = []
+        started = time.perf_counter()
+        for i in range(total_requests):
+            # Absolute schedule: serving time never pushes arrivals back.
+            target = started + i * interval
+            delay = target - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            doc = self._make_doc(rng, n, deadline_ms, timestamp)
+            tasks.append(
+                asyncio.ensure_future(
+                    self._one_request(
+                        doc, timeout, statuses, latencies, errors, lock
+                    )
+                )
+            )
+        await asyncio.gather(*tasks)
+        elapsed = time.perf_counter() - started
+        return HttpLoadReport(
+            offered=total_requests,
+            offered_qps=qps,
+            elapsed_seconds=elapsed,
+            status_counts=dict(statuses),
+            connect_errors=errors[0],
+            latencies_ms=tuple(latencies),
+        )
+
+    def run_offered(
+        self,
+        total_requests: int,
+        qps: float,
+        n: int = 10,
+        deadline_ms: float | None = None,
+        timestamp: float | None = None,
+        timeout: float = 30.0,
+    ) -> HttpLoadReport:
+        """Offer ``total_requests`` at ``qps`` arrivals per second.
+
+        ``timestamp`` (optional) is stamped on every request — recommenders
+        trained on a virtual-clock stream need requests dated after their
+        training data for recency weighting to behave.  Synchronous
+        wrapper: owns its own event loop for the run (the gateway under
+        test lives on a different loop/thread), so it can be called from
+        pytest or the CLI directly.
+        """
+        if total_requests < 1:
+            raise ValueError("total_requests must be >= 1")
+        if qps <= 0:
+            raise ValueError(f"qps must be positive, got {qps}")
+        return asyncio.run(
+            self._run(total_requests, qps, n, deadline_ms, timestamp, timeout)
+        )

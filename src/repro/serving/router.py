@@ -368,7 +368,14 @@ class RequestRouter:
         poisons a neighbour's response), in input order — the shape a
         batched serving endpoint hands the router.  Responses come back in
         the same order as the requests.
+
+        An empty batch is an explicit no-op: no counters move, no latency
+        sample is recorded.  The gateway's coalescing collector may race a
+        timer flush against a size flush — the loser finds an empty buffer
+        and must leave the stats untouched.
         """
+        if not requests:
+            return []
         return [self.handle(request) for request in requests]
 
     def stats(self, scenario: Scenario) -> ScenarioStats:

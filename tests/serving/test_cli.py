@@ -1,0 +1,82 @@
+"""Tests for the ``repro-serve`` console entry point."""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.serving import GatewayConfig, GatewayThread
+from repro.serving.cli import _build_parser, build_demo_gateway
+
+
+def test_parser_defaults_and_flags():
+    args = _build_parser().parse_args([])
+    assert args.port == 8080
+    assert args.max_connections == 256
+    assert args.deadline_ms is None
+    assert args.batch_window_ms == 2.0
+
+    args = _build_parser().parse_args(
+        [
+            "--port", "0",
+            "--max-connections", "16",
+            "--deadline-ms", "50",
+            "--batch-window-ms", "5",
+            "--rate", "100",
+        ]
+    )
+    assert args.port == 0
+    assert args.max_connections == 16
+    assert args.deadline_ms == 50.0
+    assert args.batch_window_ms == 5.0
+    assert args.rate == 100.0
+
+
+def test_demo_gateway_serves_end_to_end():
+    """The CLI's wiring really serves a trained model over a socket."""
+    gateway = build_demo_gateway(
+        GatewayConfig(port=0, batch_window_ms=1.0),
+        rate=None,
+        max_concurrency=None,
+        n_users=25,
+        n_videos=30,
+        seed=7,
+    )
+    with GatewayThread(gateway) as server:
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request(
+                "POST",
+                "/recommend",
+                body=json.dumps({"user_id": "u0001", "n": 5}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+            assert response.status == 200
+            assert len(doc["video_ids"]) > 0
+
+            # Live ingest through the wire reaches the trainer.
+            conn.request(
+                "POST",
+                "/ingest",
+                body=json.dumps(
+                    {
+                        "timestamp": 1e6,
+                        "user_id": "u0001",
+                        "video_id": doc["video_ids"][0],
+                        "action": "click",
+                    }
+                ),
+                headers={"Content-Type": "application/json"},
+            )
+            ingest = conn.getresponse()
+            assert ingest.status == 202
+            ingest.read()
+
+            conn.request("GET", "/healthz")
+            health = conn.getresponse()
+            assert health.status == 200
+            health.read()
+        finally:
+            conn.close()

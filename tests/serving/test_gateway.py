@@ -1,0 +1,364 @@
+"""Tests for the asyncio HTTP serving gateway.
+
+Everything here runs over real sockets on an ephemeral port — the point
+of the gateway is the network boundary, so the tests exercise it through
+``http.client`` rather than poking coroutine internals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.reliability.overload import AdmissionController, CircuitBreaker
+from repro.serving import (
+    GatewayConfig,
+    GatewayThread,
+    RecRequest,
+    RequestCollector,
+    RequestRouter,
+    ServingGateway,
+)
+
+
+class _Backend:
+    """Deterministic recommender stub; optional per-user failures."""
+
+    def __init__(self, fail_for=None, fail_always=False):
+        self.fail_for = fail_for or set()
+        self.fail_always = fail_always
+        self.calls = []
+
+    def recommend_ids(self, user_id, current_video=None, n=None, now=None):
+        self.calls.append(user_id)
+        if self.fail_always or user_id in self.fail_for:
+            raise RuntimeError("backend exploded")
+        return [f"rec{i}" for i in range(n or 10)]
+
+
+def _request(
+    port, method, path, body=None, host="127.0.0.1", timeout=10.0
+):
+    """One HTTP request via the stdlib client; returns (status, headers, doc)."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        conn.request(
+            method,
+            path,
+            body=payload,
+            headers={"Content-Type": "application/json"} if payload else {},
+        )
+        response = conn.getresponse()
+        raw = response.read()
+        doc = json.loads(raw) if raw else {}
+        return response.status, dict(response.getheaders()), doc
+    finally:
+        conn.close()
+
+
+def _gateway(router, config=None, **kwargs):
+    return GatewayThread(
+        ServingGateway(router, config=config or GatewayConfig(), **kwargs)
+    )
+
+
+class TestEndpoints:
+    def test_recommend_ok(self):
+        router = RequestRouter(_Backend())
+        with _gateway(router) as server:
+            status, headers, doc = _request(
+                server.port, "POST", "/recommend", {"user_id": "u1", "n": 3}
+            )
+        assert status == 200
+        assert doc["video_ids"] == ["rec0", "rec1", "rec2"]
+        assert doc["scenario"] == "guess_you_like"
+        assert "X-Repro-Degraded" not in headers
+
+    def test_recommend_related_scenario(self):
+        router = RequestRouter(_Backend())
+        with _gateway(router) as server:
+            status, _, doc = _request(
+                server.port,
+                "POST",
+                "/recommend",
+                {"user_id": "u1", "current_video": "v7"},
+            )
+        assert status == 200
+        assert doc["scenario"] == "related_videos"
+
+    def test_recommend_requires_user_id(self):
+        router = RequestRouter(_Backend())
+        with _gateway(router) as server:
+            status, _, doc = _request(server.port, "POST", "/recommend", {})
+        assert status == 400
+        assert "user_id" in doc["error"]
+
+    def test_invalid_json_is_400(self):
+        router = RequestRouter(_Backend())
+        with _gateway(router) as server:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port)
+            try:
+                conn.request("POST", "/recommend", body="{not json")
+                response = conn.getresponse()
+                assert response.status == 400
+            finally:
+                conn.close()
+
+    def test_unknown_path_404_wrong_method_405(self):
+        router = RequestRouter(_Backend())
+        with _gateway(router) as server:
+            status_404, _, _ = _request(server.port, "GET", "/nope")
+            status_405, _, _ = _request(server.port, "GET", "/recommend")
+        assert status_404 == 404
+        assert status_405 == 405
+
+    def test_snapshot_reports_router_and_coalescing(self):
+        router = RequestRouter(_Backend())
+        with _gateway(router) as server:
+            _request(server.port, "POST", "/recommend", {"user_id": "u1"})
+            status, _, doc = _request(server.port, "GET", "/snapshot")
+        assert status == 200
+        assert doc["router"]["guess_you_like"]["requests"] == 1
+        assert doc["coalescing"]["batches"] == 1
+        assert doc["coalescing"]["requests"] == 1
+        assert doc["gateway"]["rejected_connections"] == 0
+
+    def test_metrics_serves_registry_document(self):
+        obs = Observability.create()
+        router = RequestRouter(_Backend(), obs=obs)
+        with _gateway(router, obs=obs) as server:
+            _request(server.port, "POST", "/recommend", {"user_id": "u1"})
+            status, _, doc = _request(server.port, "GET", "/metrics")
+        assert status == 200
+        assert doc["schema_version"] == 1
+        names = set(doc["metrics"])
+        assert "serving_requests_total" in names
+        assert "gateway_http_requests_total" in names
+        assert "gateway_coalesced_batch_size" in names
+
+    def test_metrics_without_obs_is_still_json(self):
+        router = RequestRouter(_Backend())
+        with _gateway(router) as server:
+            status, _, doc = _request(server.port, "GET", "/metrics")
+        assert status == 200
+        assert doc["metrics"] is None
+
+    def test_ingest_feeds_observe(self):
+        seen = []
+        router = RequestRouter(_Backend())
+        with _gateway(router, observe=seen.append) as server:
+            status, _, doc = _request(
+                server.port,
+                "POST",
+                "/ingest",
+                {
+                    "timestamp": 12.5,
+                    "user_id": "u1",
+                    "video_id": "v2",
+                    "action": "click",
+                },
+            )
+        assert status == 202
+        assert doc["ingested"] == 1
+        assert len(seen) == 1
+        assert seen[0].user_id == "u1"
+        assert seen[0].action.value == "click"
+
+    def test_ingest_malformed_action_is_400(self):
+        router = RequestRouter(_Backend())
+        with _gateway(router, observe=lambda a: None) as server:
+            status, _, doc = _request(
+                server.port, "POST", "/ingest", {"user_id": "u1"}
+            )
+        assert status == 400
+
+    def test_ingest_without_sink_is_503(self):
+        router = RequestRouter(_Backend())
+        with _gateway(router) as server:
+            status, _, _ = _request(
+                server.port,
+                "POST",
+                "/ingest",
+                {
+                    "timestamp": 1.0,
+                    "user_id": "u",
+                    "video_id": "v",
+                    "action": "click",
+                },
+            )
+        assert status == 503
+
+
+class TestHealthz:
+    def test_healthy_gateway_is_200(self):
+        router = RequestRouter(_Backend())
+        with _gateway(router) as server:
+            status, _, doc = _request(server.port, "GET", "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["breaker"] is None
+
+    def test_open_breaker_flips_healthz_to_503(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        router = RequestRouter(
+            _Backend(fail_always=True), breaker=breaker
+        )
+        with _gateway(router) as server:
+            # Trip the breaker through real traffic, then ask for health.
+            _request(server.port, "POST", "/recommend", {"user_id": "u1"})
+            status, _, doc = _request(server.port, "GET", "/healthz")
+        assert status == 503
+        assert doc["status"] == "degraded"
+        assert doc["breaker"] == "open"
+
+
+class TestConnectionLimit:
+    def test_excess_connection_gets_503_and_close(self):
+        router = RequestRouter(_Backend())
+        config = GatewayConfig(max_connections=1)
+        with _gateway(router, config=config) as server:
+            first = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=10.0
+            )
+            try:
+                # Occupy the only slot with a live keep-alive connection.
+                first.request(
+                    "POST",
+                    "/recommend",
+                    body=json.dumps({"user_id": "u1"}),
+                    headers={"Content-Type": "application/json"},
+                )
+                assert first.getresponse().read() is not None
+                status, headers, doc = _request(server.port, "GET", "/healthz")
+                assert status == 503
+                assert "Retry-After" in headers
+                assert doc["error"] == "too many connections"
+            finally:
+                first.close()
+            # Slot freed: the same request now succeeds.
+            status, _, _ = _request(server.port, "GET", "/healthz")
+            assert status == 200
+            _, _, snap = _request(server.port, "GET", "/snapshot")
+            assert snap["gateway"]["rejected_connections"] == 1
+
+
+class TestKeepAlive:
+    def test_many_requests_on_one_connection(self):
+        router = RequestRouter(_Backend())
+        with _gateway(router) as server:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=10.0
+            )
+            try:
+                for i in range(5):
+                    conn.request(
+                        "POST",
+                        "/recommend",
+                        body=json.dumps({"user_id": f"u{i}"}),
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = conn.getresponse()
+                    assert response.status == 200
+                    response.read()
+            finally:
+                conn.close()
+        assert router.total_requests == 5
+
+
+class TestCollector:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_concurrent_submissions_coalesce(self):
+        router = RequestRouter(_Backend())
+        collector = RequestCollector(
+            router, batch_max=64, window_seconds=0.05
+        )
+
+        async def scenario():
+            return await asyncio.gather(
+                *(collector.submit(RecRequest(f"u{i}")) for i in range(8))
+            )
+
+        responses = self._run(scenario())
+        assert len(responses) == 8
+        assert all(r.ok for r in responses)
+        snap = collector.coalesce_snapshot()
+        assert snap["batches"] == 1
+        assert snap["requests"] == 8
+        assert snap["mean_batch_size"] == 8.0
+
+    def test_batch_max_forces_flush(self):
+        router = RequestRouter(_Backend())
+        collector = RequestCollector(router, batch_max=4, window_seconds=60.0)
+
+        async def scenario():
+            return await asyncio.gather(
+                *(collector.submit(RecRequest(f"u{i}")) for i in range(4))
+            )
+
+        responses = self._run(scenario())
+        # Window is a minute; only the size bound can have flushed.
+        assert len(responses) == 4
+        assert collector.coalesce_snapshot()["max_batch_size"] == 4
+
+    def test_responses_match_requests_in_order(self):
+        router = RequestRouter(_Backend(fail_for={"u1"}))
+        collector = RequestCollector(router, batch_max=8, window_seconds=0.01)
+
+        async def scenario():
+            return await asyncio.gather(
+                *(collector.submit(RecRequest(f"u{i}")) for i in range(3))
+            )
+
+        responses = self._run(scenario())
+        assert [r.request.user_id for r in responses] == ["u0", "u1", "u2"]
+        assert responses[0].ok and responses[2].ok
+        assert not responses[1].ok  # the failing user failed, others didn't
+
+    def test_rejects_bad_bounds(self):
+        router = RequestRouter(_Backend())
+        with pytest.raises(ValueError):
+            RequestCollector(router, batch_max=0)
+        with pytest.raises(ValueError):
+            RequestCollector(router, window_seconds=-1.0)
+
+
+class TestGatewayConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            GatewayConfig(max_connections=0)
+        with pytest.raises(ValueError):
+            GatewayConfig(batch_window_ms=-1)
+        with pytest.raises(ValueError):
+            GatewayConfig(batch_max=0)
+        with pytest.raises(ValueError):
+            GatewayConfig(deadline_ms=-5)
+
+
+class TestDefaultDeadline:
+    def test_config_deadline_applies_when_request_has_none(self):
+        captured = []
+
+        class _CapturingRouter(RequestRouter):
+            def handle_many(self, requests):
+                captured.extend(requests)
+                return super().handle_many(requests)
+
+        router = _CapturingRouter(_Backend())
+        config = GatewayConfig(deadline_ms=25.0)
+        with _gateway(router, config=config) as server:
+            _request(server.port, "POST", "/recommend", {"user_id": "u1"})
+            _request(
+                server.port,
+                "POST",
+                "/recommend",
+                {"user_id": "u2", "deadline_ms": 90.0},
+            )
+        assert captured[0].deadline_seconds == pytest.approx(0.025)
+        assert captured[1].deadline_seconds == pytest.approx(0.090)

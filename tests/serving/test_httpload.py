@@ -1,0 +1,102 @@
+"""Tests for the socket-level open-loop load generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability.overload import AdmissionController
+from repro.serving import (
+    GatewayConfig,
+    GatewayThread,
+    HttpLoadGenerator,
+    HttpLoadReport,
+    RequestRouter,
+    ServingGateway,
+    http_get_json,
+)
+
+
+class _Backend:
+    def recommend_ids(self, user_id, current_video=None, n=None, now=None):
+        return [f"rec{i}" for i in range(n or 10)]
+
+
+USERS = [f"u{i}" for i in range(20)]
+VIDEOS = [f"v{i}" for i in range(30)]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HttpLoadGenerator("h", 1, [], VIDEOS)
+    with pytest.raises(ValueError):
+        HttpLoadGenerator("h", 1, USERS, VIDEOS, related_fraction=1.5)
+    generator = HttpLoadGenerator("h", 1, USERS, VIDEOS)
+    with pytest.raises(ValueError):
+        generator.run_offered(0, qps=10)
+    with pytest.raises(ValueError):
+        generator.run_offered(10, qps=0)
+
+
+def test_offered_load_end_to_end():
+    router = RequestRouter(_Backend())
+    config = GatewayConfig(batch_window_ms=2.0)
+    with GatewayThread(ServingGateway(router)) as server:
+        generator = HttpLoadGenerator(
+            server.host, server.port, USERS, VIDEOS, seed=3
+        )
+        report = generator.run_offered(total_requests=50, qps=500.0)
+    assert report.offered == 50
+    assert report.completed == 50
+    assert report.ok == 50
+    assert report.connect_errors == 0
+    assert report.shed == 0
+    assert len(report.latencies_ms) == 50
+    assert report.p99_ms >= report.p50_ms > 0
+    assert report.achieved_qps > 0
+    # The router saw exactly the offered requests.
+    assert router.total_requests == 50
+
+
+def test_overload_sheds_on_the_wire():
+    admission = AdmissionController(rate=1e-9)
+    router = RequestRouter(_Backend(), admission=admission)
+    with GatewayThread(ServingGateway(router)) as server:
+        generator = HttpLoadGenerator(
+            server.host, server.port, USERS, VIDEOS, seed=3
+        )
+        report = generator.run_offered(total_requests=20, qps=400.0)
+    assert report.shed == 20
+    assert report.ok == 0
+    # Shed responses never contribute latency samples.
+    assert report.latencies_ms == ()
+    assert report.p99_ms == 0.0
+
+
+def test_http_get_json_helper():
+    router = RequestRouter(_Backend())
+    with GatewayThread(ServingGateway(router)) as server:
+        status, headers, doc = http_get_json(
+            server.host, server.port, "/healthz"
+        )
+    assert status == 200
+    assert doc["status"] == "ok"
+    assert headers["content-type"] == "application/json"
+
+
+def test_report_properties():
+    report = HttpLoadReport(
+        offered=10,
+        offered_qps=100.0,
+        elapsed_seconds=2.0,
+        status_counts={200: 6, 503: 2, 504: 1, 500: 1},
+        connect_errors=1,
+        latencies_ms=(1.0, 2.0, 3.0, 4.0, 5.0, 6.0),
+    )
+    assert report.completed == 10
+    assert report.ok == 6
+    assert report.shed == 2
+    assert report.deadline_exceeded == 1
+    assert report.errors == 2  # one 500 + one connect error
+    assert report.achieved_qps == 3.0
+    assert report.p50_ms == 3.0
+    assert report.mean_ms == pytest.approx(3.5)

@@ -134,3 +134,32 @@ class TestStats:
             t.join()
         assert router.total_requests == 600
         assert router.stats(Scenario.GUESS_YOU_LIKE).latency.count == 600
+
+
+class TestHandleMany:
+    def test_batch_responses_in_request_order(self):
+        router = RequestRouter(_Backend())
+        requests = [RecRequest(f"u{i}") for i in range(5)]
+        responses = router.handle_many(requests)
+        assert [r.request.user_id for r in responses] == [
+            f"u{i}" for i in range(5)
+        ]
+        assert router.total_requests == 5
+
+    def test_empty_batch_is_a_noop(self):
+        """The gateway's empty-flush path must not touch any accounting."""
+        from repro.obs import Observability
+
+        obs = Observability.create()
+        router = RequestRouter(_Backend(), obs=obs)
+        assert router.handle_many([]) == []
+        assert router.total_requests == 0
+        for scenario in Scenario:
+            stats = router.stats(scenario)
+            assert stats.requests == 0
+            assert stats.latency.count == 0
+        # Registry side: no serving counter series exists yet either.
+        totals = obs.registry.counter_totals()
+        assert not any(
+            name.startswith("serving_requests_total") for name in totals
+        )
