@@ -1,0 +1,182 @@
+"""Durable KV tier — write/read throughput per fsync policy, recovery cost.
+
+Three questions the durable tier must answer with numbers:
+
+* **What does durability cost on the write path?**  ``put`` throughput
+  under ``fsync="never"`` / ``"interval"`` / ``"always"``, plus the
+  group-commit win of ``mput`` under ``"always"`` (one fsync per batch
+  instead of one per record).
+* **What do reads cost once the cache tier is on top?**  ``get``
+  throughput against the bare ``DurableKVStore`` (every read re-verifies
+  the record checksum on disk) vs through ``ReadThroughCache`` on a hot
+  working set.
+* **How long does recovery take?**  Open time (index rebuild scans every
+  segment) as the segment count grows, and the same corpus after
+  ``compact()`` folded it into one segment.
+
+Emits ``BENCH_durable_kv.json``; CI's durability job validates and
+archives it.
+"""
+
+import time
+
+from repro.kvstore import DurableKVStore, ReadThroughCache
+
+from _emit import emit_bench
+from _helpers import format_rows, report, smoke_scaled
+
+SEGMENT_MAX_BYTES = 256 * 1024
+
+
+def _payload(i: int):
+    # ~100 bytes pickled: representative of a packed factor-vector entry.
+    return (f"k{i:08d}", i, [float(i)] * 8)
+
+
+def _put_throughput(root, policy: str, n: int) -> float:
+    with DurableKVStore(
+        root, fsync=policy, segment_max_bytes=SEGMENT_MAX_BYTES
+    ) as store:
+        started = time.perf_counter()
+        for i in range(n):
+            store.put(f"k{i:08d}", _payload(i))
+        elapsed = time.perf_counter() - started
+    return n / elapsed
+
+
+def _mput_throughput(root, policy: str, n: int, batch: int) -> float:
+    with DurableKVStore(
+        root, fsync=policy, segment_max_bytes=SEGMENT_MAX_BYTES
+    ) as store:
+        started = time.perf_counter()
+        for lo in range(0, n, batch):
+            store.mput(
+                [
+                    (f"k{i:08d}", _payload(i))
+                    for i in range(lo, min(lo + batch, n))
+                ]
+            )
+        elapsed = time.perf_counter() - started
+    return n / elapsed
+
+
+def test_durable_kv_throughput_and_recovery(tmp_path):
+    n_writes = smoke_scaled(20_000, 2_000)
+    # fsync="always" pays a real disk flush per record; keep its sample
+    # small enough that the benchmark stays interactive.
+    n_always = smoke_scaled(1_000, 200)
+    n_reads = smoke_scaled(40_000, 4_000)
+    hot_keys = 512
+
+    metrics: dict[str, float] = {}
+    write_rows = []
+    for policy, n in (("never", n_writes), ("interval", n_writes)):
+        ops = _put_throughput(tmp_path / f"put-{policy}", policy, n)
+        metrics[f"put_{policy}_ops"] = ops
+        write_rows.append({"path": f"put fsync={policy}", "ops_per_s": round(ops)})
+    always_put = _put_throughput(tmp_path / "put-always", "always", n_always)
+    always_mput = _mput_throughput(
+        tmp_path / "mput-always", "always", n_always * 4, batch=256
+    )
+    metrics["put_always_ops"] = always_put
+    metrics["mput_always_ops"] = always_mput
+    metrics["group_commit_speedup"] = always_mput / always_put
+    write_rows += [
+        {"path": "put fsync=always", "ops_per_s": round(always_put)},
+        {"path": "mput(256) fsync=always", "ops_per_s": round(always_mput)},
+    ]
+
+    # --- Read path: raw disk reads vs the cache tier on a hot set -------
+    durable = DurableKVStore(
+        tmp_path / "reads", fsync="never", segment_max_bytes=SEGMENT_MAX_BYTES
+    )
+    durable.mput([(f"k{i:08d}", _payload(i)) for i in range(n_writes)])
+    keys = [f"k{i % hot_keys:08d}" for i in range(n_reads)]
+
+    started = time.perf_counter()
+    for key in keys:
+        durable.get(key)
+    raw_get = n_reads / (time.perf_counter() - started)
+
+    cache = ReadThroughCache(durable, capacity=hot_keys * 2)
+    for key in keys[:hot_keys]:  # warm
+        cache.get(key)
+    started = time.perf_counter()
+    for key in keys:
+        cache.get(key)
+    cached_get = n_reads / (time.perf_counter() - started)
+    durable.close()
+
+    metrics["get_disk_ops"] = raw_get
+    metrics["get_cached_ops"] = cached_get
+    metrics["cache_read_speedup"] = cached_get / raw_get
+
+    # --- Recovery: open time vs segment count ---------------------------
+    recovery_rows = []
+    small_segments = 16 * 1024
+    for label, n in (("small", n_writes // 4), ("large", n_writes)):
+        root = tmp_path / f"recover-{label}"
+        with DurableKVStore(
+            root, fsync="never", segment_max_bytes=small_segments
+        ) as store:
+            store.mput([(f"k{i:08d}", _payload(i)) for i in range(n)])
+            n_segments = len(store.sealed_segments()) + 1
+
+        started = time.perf_counter()
+        reopened = DurableKVStore(
+            root, fsync="never", segment_max_bytes=small_segments
+        )
+        open_s = time.perf_counter() - started
+        assert len(reopened) == n
+
+        reopened.compact()
+        reopened.close()
+        started = time.perf_counter()
+        DurableKVStore(
+            root, fsync="never", segment_max_bytes=small_segments
+        ).close()
+        compacted_open_s = time.perf_counter() - started
+
+        metrics[f"open_ms_{label}"] = open_s * 1000.0
+        metrics[f"open_ms_{label}_compacted"] = compacted_open_s * 1000.0
+        metrics[f"segments_{label}"] = float(n_segments)
+        recovery_rows.append(
+            {
+                "corpus": f"{n} records / {n_segments} segments",
+                "open_ms": round(open_s * 1000.0, 1),
+                "open_ms_compacted": round(compacted_open_s * 1000.0, 1),
+            }
+        )
+
+    report(
+        "durable_kv",
+        format_rows(write_rows)
+        + "\n\n"
+        + format_rows(
+            [
+                {"path": "get (disk, checksummed)", "ops_per_s": round(raw_get)},
+                {"path": "get (read-through cache)", "ops_per_s": round(cached_get)},
+            ]
+        )
+        + "\n\n"
+        + format_rows(recovery_rows),
+    )
+    emit_bench(
+        "durable_kv",
+        metrics=metrics,
+        params={
+            "writes": n_writes,
+            "writes_fsync_always": n_always,
+            "reads": n_reads,
+            "hot_keys": hot_keys,
+            "segment_max_bytes": SEGMENT_MAX_BYTES,
+        },
+    )
+
+    # Sanity bars, not perf gates: relaxed enough to hold on CI runners.
+    assert metrics["group_commit_speedup"] > 1.0, (
+        "mput group commit should beat per-put fsync"
+    )
+    assert metrics["cache_read_speedup"] > 1.0, (
+        "hot-set reads through the cache should beat raw disk gets"
+    )

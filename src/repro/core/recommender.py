@@ -144,11 +144,23 @@ class RealtimeRecommender:
             for video_i, video_j in generate_pairs(action.video_id, recent):
                 self.table.offer_pair(video_i, video_j, now=action.timestamp)
             self.history.record(action)
-            if self.demographic is not None:
-                weight = self.weigher.weight(
-                    action, self.videos.get(action.video_id)
-                ) if self.trainer.is_playtime_capable(action) else 1.0
-                self.demographic.record(action, weight=weight)
+            self.observe_demographic(action)
+
+    def observe_demographic(self, action: UserAction) -> None:
+        """Fold one action into the demographic hot lists *only*.
+
+        Recovery hook: demographic state lives in memory, not in the KV
+        store, so a checkpoint restore leaves it empty — replaying the
+        checkpointed WAL prefix through this method rebuilds it exactly
+        (the weights depend only on the action and static video metadata)
+        without re-applying anything to KV-backed state.
+        """
+        if self.demographic is None or action.action not in ENGAGEMENT_ACTIONS:
+            return
+        weight = self.weigher.weight(
+            action, self.videos.get(action.video_id)
+        ) if self.trainer.is_playtime_capable(action) else 1.0
+        self.demographic.record(action, weight=weight)
 
     def observe_stream(self, actions) -> int:
         """Observe a whole (time-ordered) stream; return the action count."""

@@ -1,12 +1,21 @@
-"""In-memory key-value storage substrate.
+"""Key-value storage substrate: in-memory tiers plus a durable log.
 
 Stands in for the paper's "distributed memory-based key-value storage"
 (§5.1).  See :mod:`repro.kvstore.store` for the interface,
-:mod:`repro.kvstore.sharded` for the sharded variant, and
-:mod:`repro.kvstore.cache` for the per-worker cache/combiner optimizations.
+:mod:`repro.kvstore.sharded` for the sharded variant,
+:mod:`repro.kvstore.cache` for the per-worker cache/combiner
+optimizations, and :mod:`repro.kvstore.durable` for the log-structured
+persistent tier that sits under the cache hierarchy.
 """
 
 from .cache import ReadThroughCache, WriteCombiner
+from .durable import (
+    CompactionReport,
+    DurableKVStore,
+    FSYNC_POLICIES,
+    drop_caches,
+    unwrap_durable,
+)
 from .namespace import Namespace
 from .sharded import ShardedKVStore
 from .store import EntrySnapshot, InMemoryKVStore, Key, KVStore
@@ -21,6 +30,11 @@ __all__ = [
     "EntrySnapshot",
     "InMemoryKVStore",
     "ShardedKVStore",
+    "DurableKVStore",
+    "CompactionReport",
+    "FSYNC_POLICIES",
+    "unwrap_durable",
+    "drop_caches",
     "Namespace",
     "ReadThroughCache",
     "WriteCombiner",

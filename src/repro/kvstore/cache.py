@@ -18,20 +18,29 @@ the invariant the topology tests assert.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Iterator
 
-from .store import Key, KVStore
+from ..errors import KeyNotFound
+from .store import EntrySnapshot, Key, KVStore
 
 _MISSING = object()
 
 
-class ReadThroughCache:
-    """An LRU read cache in front of a :class:`KVStore`.
+class ReadThroughCache(KVStore):
+    """An LRU read cache in front of a :class:`KVStore` — itself a store.
 
     Reads fill the cache; writes go through to the backing store *and*
     update the cache (write-through), so a worker always reads its own
     writes.  :meth:`invalidate` drops a key, e.g. when an external writer is
     known to have touched it.
+
+    As a full :class:`KVStore`, the cache can be handed to any component
+    that expects a store — the tiering pattern is a ``ReadThroughCache``
+    over a :class:`~repro.kvstore.durable.DurableKVStore`: hot set in
+    memory, full state on disk.  Versioning, iteration, and checkpoint
+    capture always delegate to the backing store (the cache holds values
+    only, never metadata).  TTL'd writes pass through but are *not*
+    cached, because the cache does not track expiry.
     """
 
     def __init__(self, backing: KVStore, capacity: int = 1024) -> None:
@@ -42,6 +51,10 @@ class ReadThroughCache:
         self._cache: OrderedDict[Key, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
+
+    @property
+    def backing(self) -> KVStore:
+        return self._backing
 
     def get(self, key: Key, default: Any = None) -> Any:
         if key in self._cache:
@@ -55,9 +68,45 @@ class ReadThroughCache:
         self._insert(key, value)
         return value
 
-    def put(self, key: Key, value: Any) -> None:
-        self._backing.put(key, value)
+    def get_strict(self, key: Key) -> Any:
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            raise KeyNotFound(key)
+        return value
+
+    def put(self, key: Key, value: Any, ttl: float | None = None) -> int:
+        version = self._backing.put(key, value, ttl=ttl)
+        if ttl is None:
+            self._insert(key, value)
+        else:
+            self._cache.pop(key, None)
+        return version
+
+    def delete(self, key: Key) -> bool:
+        self._cache.pop(key, None)
+        return self._backing.delete(key)
+
+    def update(self, key: Key, fn: Callable[[Any], Any], default: Any = None) -> Any:
+        new_value = self._backing.update(key, fn, default=default)
+        self._insert(key, new_value)
+        return new_value
+
+    def compare_and_set(self, key: Key, value: Any, expected_version: int) -> int:
+        version = self._backing.compare_and_set(key, value, expected_version)
         self._insert(key, value)
+        return version
+
+    def version(self, key: Key) -> int:
+        return self._backing.version(key)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._cache or key in self._backing
+
+    def __len__(self) -> int:
+        return len(self._backing)
+
+    def keys(self) -> Iterator[Key]:
+        return self._backing.keys()
 
     def mget(self, keys, default: Any = None) -> list[Any]:
         """Batch get: cache hits are served locally; all misses go to the
@@ -85,20 +134,43 @@ class ReadThroughCache:
                 out[position] = value
         return out
 
-    def mput(self, items) -> list[int]:
+    def mput(
+        self,
+        items: Iterable[tuple[Key, Any]],
+        ttl: float | None = None,
+    ) -> list[int]:
         """Batch write-through: one backing ``mput``, then cache fill.
         Returns the backing store's new versions, in input order."""
         items = list(items)
-        versions = self._backing.mput(items)
+        versions = self._backing.mput(items, ttl=ttl)
         for key, value in items:
-            self._insert(key, value)
+            if ttl is None:
+                self._insert(key, value)
+            else:
+                self._cache.pop(key, None)
         return versions
 
     def invalidate(self, key: Key) -> None:
         self._cache.pop(key, None)
 
     def clear(self) -> None:
+        """Forget every cached value (the backing store is untouched)."""
         self._cache.clear()
+
+    #: Protocol hook: tier-aware restores (:func:`repro.kvstore.durable
+    #: .drop_caches`) call ``drop_cache()`` on every layer after mutating
+    #: the backing store underneath it.
+    drop_cache = clear
+
+    # -- checkpoint support (always delegated: the backing store is the
+    # -- source of truth; the cache holds no metadata) ---------------------
+
+    def snapshot_entries(self) -> list[EntrySnapshot]:
+        return self._backing.snapshot_entries()
+
+    def restore_entries(self, entries: Iterable[EntrySnapshot]) -> int:
+        self._cache.clear()
+        return self._backing.restore_entries(entries)
 
     def _insert(self, key: Key, value: Any) -> None:
         self._cache[key] = value
@@ -111,7 +183,10 @@ class ReadThroughCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def __len__(self) -> int:
+    @property
+    def cache_size(self) -> int:
+        """How many values are currently cached (``len()`` reports the
+        backing store, per the :class:`KVStore` contract)."""
         return len(self._cache)
 
 

@@ -27,7 +27,12 @@ chaos/recovery test suites live in ``tests/reliability`` and
 ``tests/overload``.
 """
 
-from .checkpoint import CheckpointInfo, CheckpointManager
+from .checkpoint import (
+    KIND_FULL,
+    KIND_SEGMENTS,
+    CheckpointInfo,
+    CheckpointManager,
+)
 from .deadletter import (
     REASON_DUPLICATE,
     REASON_LATE,
@@ -51,6 +56,8 @@ from .wal import ActionWAL
 __all__ = [
     "CheckpointManager",
     "CheckpointInfo",
+    "KIND_FULL",
+    "KIND_SEGMENTS",
     "ActionWAL",
     "RecoveryManager",
     "RecoveryReport",

@@ -14,7 +14,8 @@ On-disk layout (all under the manager's root directory)::
         entries.pkl     # pickled list of EntrySnapshot records
         manifest.json   # id, wal_seq, entry count, sha256 of entries.pkl
     ckpt-00000002/
-        ...
+        manifest.json   # incremental: references sealed durable segments
+    ...
 
 A checkpoint is *atomic by construction*: entries are written into a
 ``tmp-*`` staging directory, the manifest (with a checksum over the entry
@@ -22,6 +23,21 @@ payload) is written last, and only then is the directory renamed to its
 final ``ckpt-*`` name.  A crash mid-write leaves a ``tmp-*`` directory that
 restore ignores; a manifest whose checksum does not match its payload is
 rejected with :class:`~repro.errors.CheckpointError`.
+
+Two checkpoint kinds share that protocol:
+
+* ``kind="full"`` (:meth:`CheckpointManager.create`) — every live entry
+  pickled into ``entries.pkl``; restores into any store.
+* ``kind="segments"`` (:meth:`CheckpointManager.create_incremental`) —
+  for a :class:`~repro.kvstore.durable.DurableKVStore`-backed tier, the
+  manifest just *references* the sealed segment files (name + size) that
+  already hold the state durably; nothing is re-pickled, so checkpoint
+  cost is O(manifest) instead of O(dataset).  Restore rolls the durable
+  store back to exactly that segment set (deleting newer segments) and
+  drops any caches layered above it.  Compaction deletes referenced
+  segments, so older incremental checkpoints go stale —
+  :class:`~repro.errors.StaleCheckpointError` tells recovery to fall
+  back to a full WAL replay.
 
 Values are serialised with :mod:`pickle` — checkpoints are trusted local
 state written and read by the same process family, and the stored values
@@ -39,14 +55,23 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
 
-from ..errors import CheckpointError
-from ..kvstore import EntrySnapshot, KVStore
+from ..errors import CheckpointError, DurableStoreError, StaleCheckpointError
+from ..kvstore import EntrySnapshot, KVStore, drop_caches, unwrap_durable
 
 _PREFIX = "ckpt-"
 _TMP_PREFIX = "tmp-"
 _ENTRIES_FILE = "entries.pkl"
 _MANIFEST_FILE = "manifest.json"
 _FORMAT_VERSION = 1
+
+KIND_FULL = "full"
+KIND_SEGMENTS = "segments"
+
+
+def _segments_digest(segments: list[dict]) -> str:
+    """Canonical checksum over an incremental checkpoint's segment list."""
+    canonical = json.dumps(segments, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(canonical).hexdigest()
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,10 +90,15 @@ class CheckpointInfo:
     n_entries: int
     created_at: float
     metadata: Mapping[str, object] = field(default_factory=dict)
+    kind: str = KIND_FULL
 
     @property
     def name(self) -> str:
         return f"{_PREFIX}{self.checkpoint_id:08d}"
+
+    @property
+    def incremental(self) -> bool:
+        return self.kind == KIND_SEGMENTS
 
 
 class CheckpointManager:
@@ -121,6 +151,7 @@ class CheckpointManager:
             self._write_file(staging / _ENTRIES_FILE, payload)
             manifest = {
                 "format": _FORMAT_VERSION,
+                "kind": KIND_FULL,
                 "checkpoint_id": checkpoint_id,
                 "wal_seq": wal_seq,
                 "n_entries": len(entries),
@@ -145,6 +176,74 @@ class CheckpointManager:
             n_entries=len(entries),
             created_at=created_at,
             metadata=metadata,
+            kind=KIND_FULL,
+        )
+
+    def create_incremental(
+        self,
+        store: KVStore,
+        wal_seq: int = 0,
+        created_at: float = 0.0,
+        metadata: Mapping[str, object] | None = None,
+    ) -> CheckpointInfo:
+        """Checkpoint a durable-backed store by *referencing* its segments.
+
+        ``store`` must be (or wrap) a
+        :class:`~repro.kvstore.durable.DurableKVStore`.  The active
+        segment is sealed first, so the referenced files are immutable and
+        fsynced; the manifest then records their names and sizes plus a
+        checksum over that list.  Cost is independent of dataset size —
+        no entry is re-pickled.
+        """
+        durable = unwrap_durable(store)
+        if durable is None:
+            raise CheckpointError(
+                "incremental checkpoints need a DurableKVStore backing tier "
+                f"(got {type(store).__name__})"
+            )
+        checkpoint_id = self._next_id()
+        metadata = dict(metadata or {})
+        durable.seal_active()
+        segments = [
+            {"name": name, "bytes": size}
+            for name, size in durable.sealed_segments()
+        ]
+        n_entries = len(durable)
+
+        staging = self.root / f"{_TMP_PREFIX}{checkpoint_id:08d}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        try:
+            manifest = {
+                "format": _FORMAT_VERSION,
+                "kind": KIND_SEGMENTS,
+                "checkpoint_id": checkpoint_id,
+                "wal_seq": wal_seq,
+                "n_entries": n_entries,
+                "created_at": created_at,
+                "segments": segments,
+                "sha256": _segments_digest(segments),
+                "metadata": metadata,
+            }
+            self._write_file(
+                staging / _MANIFEST_FILE,
+                json.dumps(manifest, indent=2).encode("utf-8"),
+            )
+            final = self.root / f"{_PREFIX}{checkpoint_id:08d}"
+            os.rename(staging, final)
+        except OSError as exc:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise CheckpointError(f"failed to write checkpoint: {exc}") from exc
+        self._prune()
+        return CheckpointInfo(
+            checkpoint_id=checkpoint_id,
+            path=str(final),
+            wal_seq=wal_seq,
+            n_entries=n_entries,
+            created_at=created_at,
+            metadata=metadata,
+            kind=KIND_SEGMENTS,
         )
 
     def _write_file(self, path: Path, data: bytes) -> None:
@@ -180,6 +279,7 @@ class CheckpointManager:
                     n_entries=int(manifest["n_entries"]),
                     created_at=float(manifest["created_at"]),
                     metadata=dict(manifest.get("metadata", {})),
+                    kind=str(manifest.get("kind", KIND_FULL)),
                 )
             )
         infos.sort(key=lambda info: info.checkpoint_id)
@@ -202,13 +302,26 @@ class CheckpointManager:
         """Load checkpoint ``info`` into ``store``; return entries loaded.
 
         Verifies the payload checksum against the manifest before touching
-        the store, so a corrupt checkpoint never half-loads.
+        the store, so a corrupt checkpoint never half-loads.  Incremental
+        (``kind="segments"``) checkpoints restore by rolling the durable
+        backing tier back to the referenced segment set; a referenced
+        segment that is missing or resized (compaction ran after the
+        checkpoint) raises :class:`~repro.errors.StaleCheckpointError`
+        with the store untouched.
         """
         path = Path(info.path)
         manifest_path = path / _MANIFEST_FILE
-        entries_path = path / _ENTRIES_FILE
         try:
             manifest = json.loads(manifest_path.read_text())
+        except OSError as exc:
+            raise CheckpointError(
+                f"checkpoint {info.name} unreadable: {exc}"
+            ) from exc
+        if manifest.get("kind", KIND_FULL) == KIND_SEGMENTS:
+            return self._restore_segments(info, manifest, store)
+
+        entries_path = path / _ENTRIES_FILE
+        try:
             payload = entries_path.read_bytes()
         except OSError as exc:
             raise CheckpointError(
@@ -221,6 +334,52 @@ class CheckpointManager:
             )
         entries: list[EntrySnapshot] = pickle.loads(payload)
         return store.restore_entries(entries)
+
+    def _restore_segments(
+        self, info: CheckpointInfo, manifest: dict, store: KVStore
+    ) -> int:
+        segments = list(manifest.get("segments", []))
+        if _segments_digest(segments) != manifest["sha256"]:
+            raise CheckpointError(
+                f"checkpoint {info.name} corrupt: segment-list checksum mismatch"
+            )
+        durable = unwrap_durable(store)
+        if durable is None:
+            raise CheckpointError(
+                f"checkpoint {info.name} is incremental but the target store "
+                f"({type(store).__name__}) has no DurableKVStore backing tier"
+            )
+        # Verify the referenced files before touching any state: sealed
+        # segments are immutable, so a size mismatch means the file is not
+        # the one the checkpoint saw (and a missing one means compaction
+        # removed it after the checkpoint was taken).
+        problems = []
+        for segment in segments:
+            seg_path = durable.root / str(segment["name"])
+            if not seg_path.is_file():
+                problems.append(f"{segment['name']} missing")
+            elif seg_path.stat().st_size != int(segment["bytes"]):
+                problems.append(
+                    f"{segment['name']} is {seg_path.stat().st_size} bytes, "
+                    f"expected {segment['bytes']}"
+                )
+        if problems:
+            raise StaleCheckpointError(
+                f"checkpoint {info.name} references segments that no longer "
+                f"match: {'; '.join(problems)}"
+            )
+        try:
+            count = durable.restore_to_segments(
+                [str(segment["name"]) for segment in segments]
+            )
+        except DurableStoreError as exc:
+            raise StaleCheckpointError(
+                f"checkpoint {info.name} could not be restored: {exc}"
+            ) from exc
+        # Layers above the durable tier may hold values from before the
+        # rollback; make them re-read through.
+        drop_caches(store)
+        return count
 
     def restore_latest(self, store: KVStore) -> CheckpointInfo | None:
         """Restore the newest checkpoint into ``store``.

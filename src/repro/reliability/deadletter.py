@@ -17,10 +17,13 @@ survives a process crash and can be inspected with standard tools
 from __future__ import annotations
 
 import json
+import logging
 import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable
+
+_log = logging.getLogger(__name__)
 
 from ..clock import Clock, SystemClock
 from ..data.schema import UserAction
@@ -74,6 +77,31 @@ class DeadLetterStore:
         self._lock = threading.Lock()
         if self._path is not None:
             self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._repair_torn_tail()
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate a torn final line left by a crash mid-append.
+
+        The mirror is append-only JSONL, so the only damage a crash can do
+        is an incomplete last line.  Cutting back to the last newline keeps
+        every complete record and lets appends resume cleanly; anything
+        rarer (interior corruption) is left for :meth:`load_jsonl` to skip.
+        """
+        assert self._path is not None
+        try:
+            data = self._path.read_bytes()
+        except FileNotFoundError:
+            return
+        if not data or data.endswith(b"\n"):
+            return
+        keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+        _log.warning(
+            "dead-letter mirror %s has a torn final line (%d bytes); truncating",
+            self._path,
+            len(data) - keep,
+        )
+        with self._path.open("r+b") as fh:
+            fh.truncate(keep)
 
     def add(self, reason: str, payload: Any, detail: str = "") -> DeadLetter:
         """Quarantine one payload under ``reason``; return the record."""
@@ -167,11 +195,26 @@ class DeadLetterStore:
 
     @staticmethod
     def load_jsonl(path: str | Path) -> list[dict[str, Any]]:
-        """Read a disk mirror back as plain dicts (the inspection story)."""
+        """Read a disk mirror back as plain dicts (the inspection story).
+
+        A torn final line (crash mid-append, mirror not yet reopened) is
+        skipped with a warning; a malformed line *before* the tail still
+        raises, because that is corruption, not a crash artifact.
+        """
         out: list[dict[str, Any]] = []
-        with Path(path).open(encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    out.append(json.loads(line))
+        lines = Path(path).read_text(encoding="utf-8").split("\n")
+        for idx, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError:
+                if idx >= len(lines) - 2:
+                    _log.warning(
+                        "skipping torn final line in dead-letter mirror %s",
+                        path,
+                    )
+                    break
+                raise
         return out

@@ -21,7 +21,8 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..data.schema import UserAction
-from ..kvstore import KVStore
+from ..errors import StaleCheckpointError
+from ..kvstore import KVStore, drop_caches, unwrap_durable
 from .checkpoint import CheckpointInfo, CheckpointManager
 from .wal import ActionWAL
 
@@ -33,6 +34,7 @@ class RecoveryReport:
     checkpoint: CheckpointInfo | None
     replayed: int
     last_seq: int
+    stale_checkpoint: bool = False
 
     @property
     def from_scratch(self) -> bool:
@@ -52,17 +54,26 @@ class RecoveryManager:
         self.wal = wal
 
     def checkpoint(
-        self, store: KVStore, created_at: float = 0.0
+        self,
+        store: KVStore,
+        created_at: float = 0.0,
+        incremental: bool = False,
     ) -> CheckpointInfo:
         """Snapshot ``store`` tagged with the WAL's current position.
 
         Call between actions (never mid-action): the snapshot must be a
         consistent cut of the store that corresponds exactly to "all
-        actions up to ``wal.last_seq`` applied".
+        actions up to ``wal.last_seq`` applied".  With ``incremental=True``
+        the store must wrap a :class:`~repro.kvstore.durable.DurableKVStore`
+        and the checkpoint only *references* its sealed segments — O(1) in
+        dataset size.
         """
-        return self.checkpoints.create(
-            store, wal_seq=self.wal.last_seq, created_at=created_at
+        create = (
+            self.checkpoints.create_incremental
+            if incremental
+            else self.checkpoints.create
         )
+        return create(store, wal_seq=self.wal.last_seq, created_at=created_at)
 
     def recover(
         self,
@@ -75,8 +86,23 @@ class RecoveryManager:
         ``OnlineTrainer.process`` or ``RealtimeRecommender.observe``.  The
         WAL is suspended for the duration so an ``apply`` that itself logs
         to this WAL does not duplicate records.
+
+        If the newest checkpoint is incremental and has gone stale
+        (compaction deleted a referenced segment), the durable tier is
+        cleared and *everything* is replayed from the WAL — the log holds
+        every acked action from sequence 1, so the end state is identical,
+        just slower to reach.
         """
-        info = self.checkpoints.restore_latest(store)
+        stale = False
+        try:
+            info = self.checkpoints.restore_latest(store)
+        except StaleCheckpointError:
+            stale = True
+            info = None
+            durable = unwrap_durable(store)
+            if durable is not None:
+                durable.clear()
+            drop_caches(store)
         after_seq = info.wal_seq if info is not None else 0
         replayed = 0
         last_seq = after_seq
@@ -86,5 +112,8 @@ class RecoveryManager:
                 replayed += 1
                 last_seq = seq
         return RecoveryReport(
-            checkpoint=info, replayed=replayed, last_seq=last_seq
+            checkpoint=info,
+            replayed=replayed,
+            last_seq=last_seq,
+            stale_checkpoint=stale,
         )

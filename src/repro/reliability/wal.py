@@ -103,11 +103,30 @@ class ActionWAL:
         return seq
 
     def _rotate(self, first_seq: int) -> None:
+        """Seal the current segment and open ``wal-<first_seq>.log``.
+
+        The outgoing segment is fsynced before it is closed, and the WAL
+        directory is fsynced after the new file is created — without the
+        directory fsync, a power loss can forget the new segment's very
+        *existence* even though its records were flushed.
+        """
         if self._handle is not None:
+            if self.fsync:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
             self._handle.close()
         path = self.root / _segment_name(first_seq)
         self._handle = open(path, "a", encoding="utf-8")
+        if self.fsync:
+            self._fsync_dir()
         self._segment_records = 0
+
+    def _fsync_dir(self) -> None:
+        dir_fd = os.open(self.root, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
     @contextmanager
     def suspend(self) -> Iterator[None]:

@@ -10,6 +10,12 @@ for demos, smoke tests, and poking the endpoints with curl::
     curl -s localhost:8080/healthz
     curl -s -XPOST localhost:8080/recommend -d '{"user_id": "u0001"}'
 
+With ``--data-dir`` the model plane becomes durable: the KV store is a
+:class:`~repro.kvstore.durable.DurableKVStore` under a read-through
+cache, every observed action hits a write-ahead log first, and on boot
+the process recovers checkpoint + WAL tail instead of retraining — kill
+it and restart it and it serves the same recommendations.
+
 Everything is stdlib + numpy; the process serves until interrupted.
 """
 
@@ -18,13 +24,16 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
+from pathlib import Path
 
 from ..baselines import HotRecommender
 from ..clock import SystemClock
 from ..core import RealtimeRecommender
 from ..data import SyntheticWorld
 from ..data.synthetic import paper_world_config
+from ..kvstore import FSYNC_POLICIES, DurableKVStore, ReadThroughCache
 from ..obs import Observability
+from ..reliability import ActionWAL, CheckpointManager, RecoveryManager
 from ..reliability.overload import AdmissionController, CircuitBreaker
 from .gateway import GatewayConfig, ServingGateway
 from .router import RequestRouter
@@ -39,23 +48,76 @@ def build_demo_gateway(
     n_users: int = 120,
     n_videos: int = 150,
     seed: int = 2016,
+    data_dir: str | Path | None = None,
+    fsync: str = "interval",
 ) -> ServingGateway:
-    """A fully-wired gateway over a freshly trained synthetic recommender."""
+    """A fully-wired gateway over a freshly trained synthetic recommender.
+
+    With ``data_dir`` the recommender's store is a durable tier
+    (``<data_dir>/kv``), actions are WAL-logged (``<data_dir>/wal``), and
+    boot first attempts checkpoint-restore + WAL replay; only a state-less
+    data dir triggers the synthetic training pass, which is then sealed
+    with an incremental checkpoint.
+    """
     world = SyntheticWorld(
         paper_world_config(seed=seed, n_users=n_users, n_videos=n_videos)
     )
     obs = Observability.create()
+    store = wal = recovery = None
+    if data_dir is not None:
+        data_root = Path(data_dir)
+        durable = DurableKVStore(
+            data_root / "kv", fsync=fsync, registry=obs.registry
+        )
+        store = ReadThroughCache(durable, capacity=4096)
+        wal = ActionWAL(data_root / "wal", fsync=(fsync == "always"))
+        recovery = RecoveryManager(
+            CheckpointManager(data_root / "ckpt", fsync=(fsync != "never")),
+            wal,
+        )
     recommender = RealtimeRecommender(
         world.videos,
         users=world.users,
         clock=SystemClock(),
         obs=obs,
+        store=store,
+        wal=wal,
     )
-    actions = world.generate_actions()
-    recommender.observe_stream(actions)
     fallback = HotRecommender()
-    for action in actions:
-        fallback.observe(action)
+    recovered = False
+    if recovery is not None and store is not None:
+        report = recovery.recover(
+            store,
+            lambda action: (
+                recommender.observe(action),
+                fallback.observe(action),
+            ),
+        )
+        recovered = report.checkpoint is not None or report.replayed > 0
+        if report.checkpoint is not None:
+            # The checkpoint restored KV-backed state only; demographic hot
+            # lists and the hot-videos fallback are in-memory and must be
+            # rebuilt from the WAL prefix the checkpoint covers (the replay
+            # above already fed them everything after it).
+            for seq, action in wal.replay():
+                if seq > report.checkpoint.wal_seq:
+                    break
+                recommender.observe_demographic(action)
+                fallback.observe(action)
+        if recovered:
+            print(
+                f"recovered from {data_dir}: checkpoint="
+                f"{report.checkpoint.name if report.checkpoint else 'none'} "
+                f"replayed={report.replayed} (seq {report.last_seq})",
+                flush=True,
+            )
+    if not recovered:
+        actions = world.generate_actions()
+        recommender.observe_stream(actions)
+        for action in actions:
+            fallback.observe(action)
+        if recovery is not None and store is not None:
+            recovery.checkpoint(store, incremental=True)
     admission = (
         AdmissionController(
             rate=rate,
@@ -134,6 +196,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--videos", type=int, default=150, help="synthetic world size"
     )
     parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help="persist model state here (durable KV + WAL + checkpoints); "
+        "a restart recovers instead of retraining",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=list(FSYNC_POLICIES),
+        default="interval",
+        help="durability policy for --data-dir writes",
+    )
     return parser
 
 
@@ -148,7 +222,7 @@ def main(argv: list[str] | None = None) -> int:
         batch_max=args.batch_max,
     )
     print(
-        f"training demo recommender ({args.users} users, "
+        f"preparing demo recommender ({args.users} users, "
         f"{args.videos} videos)...",
         flush=True,
     )
@@ -159,6 +233,8 @@ def main(argv: list[str] | None = None) -> int:
         n_users=args.users,
         n_videos=args.videos,
         seed=args.seed,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
     )
 
     async def serve() -> None:

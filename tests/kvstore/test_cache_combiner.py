@@ -19,7 +19,7 @@ class TestReadThroughCache:
         cache = ReadThroughCache(InMemoryKVStore(), capacity=4)
         assert cache.get("nope", "dflt") == "dflt"
         # absent keys are not cached
-        assert len(cache) == 0
+        assert cache.cache_size == 0
 
     def test_write_through(self):
         backing = InMemoryKVStore()
@@ -37,7 +37,7 @@ class TestReadThroughCache:
         for i in range(4):
             cache.get(f"k{i}")
         # k0 is the least recently used and must have been evicted
-        assert len(cache) == 3
+        assert cache.cache_size == 3
         cache.get("k0")
         assert cache.misses == 5
 

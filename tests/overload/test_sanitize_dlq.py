@@ -1,5 +1,7 @@
 """Ingest hygiene: SanitizeBolt, dead-letter queue, chaos dedup equivalence."""
 
+import json
+
 import pytest
 
 from repro.clock import VirtualClock
@@ -158,6 +160,45 @@ class TestDeadLetterStore:
         assert rows[0]["payload"] == "garbage line"
         assert rows[1]["reason"] == REASON_DUPLICATE
         assert rows[1]["recorded_at"] == 7.0
+
+    def test_reopen_repairs_torn_final_line(self, tmp_path):
+        """Regression: a crash mid-append leaves half a JSON line; reopening
+        the mirror must truncate it (keeping every complete record) so new
+        appends do not glue onto the torn fragment."""
+        path = tmp_path / "dead_letters.jsonl"
+        dlq = DeadLetterStore(path=path, clock=VirtualClock(1.0))
+        dlq.add(REASON_MALFORMED, "first")
+        dlq.add(REASON_LATE, "second")
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"reason": "malformed", "pay')  # crash mid-append
+
+        reopened = DeadLetterStore(path=path, clock=VirtualClock(2.0))
+        reopened.add(REASON_DUPLICATE, "after-crash")
+        rows = DeadLetterStore.load_jsonl(path)
+        assert [r["payload"] for r in rows] == [
+            "first",
+            "second",
+            "after-crash",
+        ]
+
+    def test_load_jsonl_tolerates_torn_tail_without_reopen(self, tmp_path):
+        """Inspection must work on a crashed process's mirror as-is."""
+        path = tmp_path / "dead_letters.jsonl"
+        dlq = DeadLetterStore(path=path, clock=VirtualClock(1.0))
+        dlq.add(REASON_MALFORMED, "only-complete-record")
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"torn": tru')
+        rows = DeadLetterStore.load_jsonl(path)
+        assert [r["payload"] for r in rows] == ["only-complete-record"]
+
+    def test_load_jsonl_interior_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "dead_letters.jsonl"
+        path.write_text(
+            '{"payload": "ok"}\nnot json at all\n{"payload": "ok2"}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(json.JSONDecodeError):
+            DeadLetterStore.load_jsonl(path)
 
 
 def _top_n(system, video="v1", n=5):

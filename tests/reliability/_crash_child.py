@@ -1,0 +1,99 @@
+"""Victim process for the crash-injection suite (run via subprocess).
+
+Two modes, both writing under a data root the parent owns and acking
+progress on stdout (one line per completed, durable operation).  The
+parent SIGKILLs this process at an arbitrary point — there is no signal
+handler and no cleanup — then verifies that everything acked before the
+kill is recoverable from disk.
+
+``kv`` mode::
+
+    python _crash_child.py kv <root> [--limit N]
+
+Appends ``put("k<i>", ("k<i>", <i>))`` to a ``DurableKVStore`` opened
+with ``fsync="always"`` and prints ``ACK <i>`` after each put returns —
+i.e. after the record is fsynced.
+
+``rec`` mode::
+
+    python _crash_child.py rec <root> [--limit N] [--checkpoint-every K]
+
+Feeds the deterministic synthetic action stream through a
+``RealtimeRecommender`` over a ``ReadThroughCache(DurableKVStore)`` tier
+with a WAL (``fsync=True``), taking an incremental checkpoint every K
+actions, printing ``ACK <seq>`` after each observe.  The WAL append
+happens (and is fsynced) *before* the model applies the action, so an
+acked sequence number is always replayable.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.recommender import RealtimeRecommender
+from repro.data import SyntheticWorld
+from repro.data.synthetic import WorldConfig
+from repro.kvstore import DurableKVStore, ReadThroughCache
+from repro.reliability import ActionWAL, CheckpointManager, RecoveryManager
+
+# The parent builds the identical world to verify against.
+WORLD = dict(n_users=60, n_videos=80, n_types=5, days=3, seed=42)
+SEGMENT_MAX_BYTES = 16 * 1024
+
+
+def _ack(n: int) -> None:
+    sys.stdout.write(f"ACK {n}\n")
+    sys.stdout.flush()
+
+
+def run_kv(root: Path, limit: int) -> None:
+    store = DurableKVStore(
+        root / "kv",
+        fsync="always",
+        segment_max_bytes=SEGMENT_MAX_BYTES,
+    )
+    for i in range(limit):
+        store.put(f"k{i}", (f"k{i}", i))
+        _ack(i)
+
+
+def run_rec(root: Path, limit: int, checkpoint_every: int) -> None:
+    world = SyntheticWorld(WorldConfig(**WORLD))
+    actions = world.generate_actions()[:limit]
+
+    durable = DurableKVStore(
+        root / "kv", fsync="interval", segment_max_bytes=SEGMENT_MAX_BYTES
+    )
+    tier = ReadThroughCache(durable, capacity=512)
+    wal = ActionWAL(root / "wal", segment_max_records=64, fsync=True)
+    recovery = RecoveryManager(CheckpointManager(root / "ckpt"), wal)
+    recommender = RealtimeRecommender(
+        world.videos, enable_demographic=False, store=tier, wal=wal
+    )
+    # Baseline cut at seq 0 so recovery always has a consistent segment
+    # set to roll back to, even if we die before the first periodic one.
+    recovery.checkpoint(tier, incremental=True)
+    for count, action in enumerate(actions, start=1):
+        recommender.observe(action)
+        _ack(count)
+        if count % checkpoint_every == 0:
+            recovery.checkpoint(tier, incremental=True)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("mode", choices=("kv", "rec"))
+    parser.add_argument("root", type=Path)
+    parser.add_argument("--limit", type=int, default=1_000_000)
+    parser.add_argument("--checkpoint-every", type=int, default=60)
+    args = parser.parse_args()
+    if args.mode == "kv":
+        run_kv(args.root, args.limit)
+    else:
+        run_rec(args.root, args.limit, args.checkpoint_every)
+    sys.stdout.write("DONE\n")
+    sys.stdout.flush()
+
+
+if __name__ == "__main__":
+    main()

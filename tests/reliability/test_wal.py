@@ -1,5 +1,7 @@
 """Write-ahead-log tests: rotation, replay positioning, torn tails."""
 
+import os
+
 import pytest
 
 from repro.data.schema import ActionType, UserAction
@@ -75,6 +77,37 @@ class TestSegmentRotation:
         assert reopened.last_seq == 7
         assert reopened.append(_action(7)) == 8
         assert [seq for seq, _ in reopened.replay()] == list(range(1, 9))
+
+    def test_rotation_fsync_sequence(self, tmp_path, monkeypatch):
+        """With ``fsync=True`` a rotation must (a) fsync the outgoing
+        segment file before closing it and (b) fsync the WAL *directory*
+        after creating the new file — otherwise power loss can forget
+        either the sealed records or the new segment's existence."""
+        fsyncs = []
+        real_fsync = os.fsync
+
+        def spy_fsync(fd):
+            fsyncs.append("dir" if os.fstat(fd).st_mode & 0o040000 else "file")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        wal = ActionWAL(tmp_path, segment_max_records=2, fsync=True)
+        wal.append(_action(0))  # opens segment 1: dir fsync
+        wal.append(_action(1))
+        fsyncs.clear()
+        wal.append(_action(2))  # rotation: seal old file, then dir fsync
+        # per-append file fsyncs follow the rotation pair
+        assert fsyncs[:3] == ["file", "dir", "file"]
+        wal.close()
+
+    def test_no_fsync_calls_when_disabled(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(os, "fsync", lambda fd: calls.append(fd))
+        wal = ActionWAL(tmp_path, segment_max_records=2, fsync=False)
+        for i in range(5):
+            wal.append(_action(i))
+        wal.close()
+        assert calls == []
 
 
 class TestCorruption:
