@@ -26,8 +26,10 @@ from .demographic import (
 from .feedback import Feedback, RatingMode, extract_feedback
 from .grouped import GroupedRecommender
 from .history import UserHistoryStore
+from .arena import FactorArena
 from .mf import MFModel, MFUpdate
 from .online import OnlineTrainer, TrainerStats
+from .shm_arena import SharedFactorArena, SharedModelState
 from .recommender import RealtimeRecommender, Recommendation
 from .reservoir import Reservoir, ReservoirTrainer
 from .similarity import (
@@ -54,6 +56,9 @@ __all__ = [
     "Feedback",
     "RatingMode",
     "extract_feedback",
+    "FactorArena",
+    "SharedFactorArena",
+    "SharedModelState",
     "MFModel",
     "MFUpdate",
     "OnlineTrainer",

@@ -1,0 +1,831 @@
+"""Shared-memory factor storage: the cross-process twin of ``FactorArena``.
+
+A :class:`~repro.core.arena.FactorArena` is a contiguous ``(capacity, f)``
+float64 block — exactly the shape ``multiprocessing.shared_memory`` maps
+between processes for free.  :class:`SharedFactorArena` keeps the same API
+over numpy views of shared segments, so per-shard worker processes run SGD
+updates directly on the one true parameter block: a row write in a worker
+is immediately visible to every other process with **zero copies and zero
+serialisation** — the paper's distributed MF storage (§5.1) realised as
+one mapped memory region instead of a remote KV tier.
+
+Segment layout (all named, so any process can attach by name):
+
+* ``<base>-ctl`` — fixed-size control block: ``f``, the data/ids segment
+  *generations*, capacity, intern/learned counts, the id-blob watermark,
+  and a shared ``mu`` accumulator (total, count) for the model plane.
+* ``<base>-d<gen>`` — generation ``gen`` of the data block: ``capacity*f``
+  vector float64s, ``capacity`` bias float64s, ``capacity`` has-vector
+  bytes, contiguous in that order.
+* ``<base>-i<gen>`` — generation ``gen`` of the id-intern blob: utf-8 ids
+  joined by ``\\n``, append-only up to the control block's watermark.
+
+**Growth/remap protocol.**  Rows never move within a generation.  When the
+interner needs more capacity it creates generation ``gen+1`` at double the
+size, copies the compacted prefix, bumps the control block's generation,
+and unlinks the old segment (POSIX keeps existing mappings alive until the
+stragglers close them).  Every operation starts by comparing its attached
+generation against the control block and re-attaches when stale — the
+remap is one ``shm_open`` + ``mmap``, amortised O(1).  The id blob grows
+the same way, but because it is append-only, readers track a byte offset
+and parse only the suffix that appeared since their last refresh.
+
+**Locking.**  Cross-process coordination uses ``flock`` on a sidecar lock
+file (advisory, and — crucially for crash safety — released by the kernel
+when a process dies, even by SIGKILL):
+
+* *shared* (``LOCK_SH``) for row reads and steady-state row writes — many
+  workers proceed in parallel; fields grouping already guarantees a single
+  writer per row, so row data needs no mutual exclusion among writers;
+* *exclusive* (``LOCK_EX``) for everything that mutates global structure:
+  interning, growth, first-vector/delete bookkeeping (``n_vec``), the
+  ``mu`` fold, bulk loads, and coherent snapshots.
+
+A snapshot therefore observes a quiescent arena: no row write can overlap
+the copy, so checkpoints taken mid-training are never torn.
+
+**Lifecycle.**  The creating process owns the segments: ``unlink()``
+(also registered as a :func:`weakref.finalize` + ``atexit`` backstop)
+removes whatever generations the control block names *at that moment*,
+plus the control block and lock file.  Attaching processes only ever
+``close()``; a worker that dies abnormally — even SIGKILL — leaks nothing,
+because it never owned anything and its flock evaporates with it.  Python's
+``resource_tracker`` is explicitly unregistered from every segment (it
+would otherwise unlink segments still in use when *any* attached process
+exits — the well-known 3.11 behaviour fixed only in 3.13's ``track=False``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+import weakref
+from contextlib import contextmanager
+from multiprocessing import resource_tracker, shared_memory
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .arena import FactorArena
+
+try:  # POSIX only; the executor and arena are documented Linux/macOS.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["SharedFactorArena", "SharedModelState"]
+
+_MAGIC = 0x52_45_50_52_4F_41_52_41  # "REPROARA"
+_CTL_SIZE = 4096
+
+# int64 slot indices within the control block.
+_MAGIC_SLOT = 0
+_F = 1
+_DATA_GEN = 2
+_IDS_GEN = 3
+_CAPACITY = 4
+_N_INTERNED = 5
+_N_VEC = 6
+_IDS_CAP = 7
+_IDS_USED = 8
+_MU_COUNT = 9
+_N_SLOTS = 10
+# float64 slot (separate view over the same buffer, after the int slots).
+_MU_TOTAL_OFFSET = _N_SLOTS * 8
+
+_SEPARATOR = b"\n"
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without resource-tracker interference."""
+    seg = shared_memory.SharedMemory(name=name, create=False)
+    _untrack(seg)
+    return seg
+
+
+def _create_segment(name: str, size: int) -> shared_memory.SharedMemory:
+    seg = shared_memory.SharedMemory(name=name, create=True, size=size)
+    _untrack(seg)
+    return seg
+
+
+def _untrack(seg: shared_memory.SharedMemory) -> None:
+    """Remove ``seg`` from the resource tracker's leak registry.
+
+    The tracker unlinks every registered segment when the process tree
+    winds down — correct for anonymous one-owner use, catastrophic for a
+    named segment shared across a worker fleet (a finished worker would
+    tear the arena out from under the parent).  Ownership is ours:
+    :meth:`SharedFactorArena.unlink` and its finalizers do the cleanup.
+    """
+    try:
+        resource_tracker.unregister(seg._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:  # pragma: no cover - tracker API moved
+        pass
+
+
+def _unlink_quietly(name: str) -> None:
+    # No _untrack here: attaching registers the name with the resource
+    # tracker and unlink() unregisters it — already balanced.  An extra
+    # unregister would make the tracker process log a KeyError at exit.
+    try:
+        seg = shared_memory.SharedMemory(name=name, create=False)
+    except FileNotFoundError:
+        return
+    try:
+        seg.close()
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced another cleanup
+        pass
+
+
+def _cleanup_by_name(base: str, lock_path: str) -> None:
+    """Owner cleanup: read the live generations, then unlink everything."""
+    try:
+        ctl = _attach_segment(f"{base}-ctl")
+    except FileNotFoundError:
+        ctl = None
+    if ctl is not None:
+        slots = np.ndarray((_N_SLOTS,), dtype=np.int64, buffer=ctl.buf)
+        data_gen, ids_gen = int(slots[_DATA_GEN]), int(slots[_IDS_GEN])
+        del slots
+        ctl.close()
+        _unlink_quietly(f"{base}-d{data_gen}")
+        _unlink_quietly(f"{base}-i{ids_gen}")
+        _unlink_quietly(f"{base}-ctl")
+    try:
+        os.unlink(lock_path)
+    except OSError:
+        pass
+
+
+def _default_lock_dir() -> str:
+    return "/dev/shm" if os.path.isdir("/dev/shm") else "/tmp"
+
+
+class SharedFactorArena:
+    """``FactorArena`` semantics over named shared-memory segments.
+
+    Create one in the owning process, hand ``.name`` (or the object — it
+    pickles as an attach-by-name handle) to workers, and every process
+    operates on the same factor block::
+
+        arena = SharedFactorArena(f=32)
+        worker = Process(target=train, args=(arena.name,))
+        # in the worker:
+        arena = SharedFactorArena.attach(name)
+
+    All methods are process- and thread-safe under the documented locking
+    discipline; reads return copies (the in-process arena's contract), so
+    a vector handed out never changes under the caller.
+    """
+
+    def __init__(
+        self,
+        f: int,
+        initial_capacity: int = 64,
+        name: str | None = None,
+        ids_capacity: int = 4096,
+        _attach: bool = False,
+    ) -> None:
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            raise OSError(
+                "SharedFactorArena needs POSIX flock (fcntl); "
+                "use FactorArena on this platform"
+            )
+        self._tlock = threading.RLock()
+        self._fd: int | None = None
+        self._finalizer = None
+        self.owner = not _attach
+        if _attach:
+            assert name is not None
+            self._base = name
+            self._ctl = _attach_segment(f"{name}-ctl")
+            self._map_ctl()
+            if int(self._slots[_MAGIC_SLOT]) != _MAGIC:
+                raise ValueError(
+                    f"shared segment {name!r} is not a factor arena"
+                )
+            self.f = int(self._slots[_F])
+            self._lock_path = os.path.join(
+                _default_lock_dir(), f"{self._base}.lock"
+            )
+            self._data_gen = -1  # force first-use attach
+            self._ids_gen = -1
+            self._data = None
+            self._ids_seg = None
+            self._rows: dict[str, int] = {}
+            self._ids: list[str] = []
+            self._parsed = 0
+            return
+        if f < 1:
+            raise ValueError(f"factor dimensionality must be >= 1, got {f}")
+        if initial_capacity < 1:
+            raise ValueError(
+                f"initial_capacity must be >= 1, got {initial_capacity}"
+            )
+        self.f = f
+        self._base = name or f"repro-arena-{secrets.token_hex(6)}"
+        self._lock_path = os.path.join(
+            _default_lock_dir(), f"{self._base}.lock"
+        )
+        self._ctl = _create_segment(f"{self._base}-ctl", _CTL_SIZE)
+        self._map_ctl()
+        self._slots[:] = 0
+        self._slots[_MAGIC_SLOT] = _MAGIC
+        self._slots[_F] = f
+        self._slots[_CAPACITY] = initial_capacity
+        self._slots[_IDS_CAP] = max(int(ids_capacity), 64)
+        self._data = _create_segment(
+            f"{self._base}-d0", self._data_bytes(initial_capacity, f)
+        )
+        self._ids_seg = _create_segment(
+            f"{self._base}-i0", int(self._slots[_IDS_CAP])
+        )
+        self._data_gen = 0
+        self._ids_gen = 0
+        self._map_data(initial_capacity)
+        self._rows = {}
+        self._ids = []
+        self._parsed = 0
+        # Touch the lock file into existence so attachers can flock it.
+        with open(self._lock_path, "a"):
+            pass
+        self._finalizer = weakref.finalize(
+            self, _cleanup_by_name, self._base, self._lock_path
+        )
+        atexit.register(self._finalizer)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedFactorArena":
+        """Attach to an arena created elsewhere (workers never own it)."""
+        return cls(f=1, name=name, _attach=True)
+
+    def __reduce__(self):
+        return (SharedFactorArena.attach, (self._base,))
+
+    @property
+    def name(self) -> str:
+        """The base segment name: pass to :meth:`attach` in workers."""
+        return self._base
+
+    @staticmethod
+    def _data_bytes(capacity: int, f: int) -> int:
+        return capacity * f * 8 + capacity * 8 + capacity
+
+    def _map_ctl(self) -> None:
+        self._slots = np.ndarray(
+            (_N_SLOTS,), dtype=np.int64, buffer=self._ctl.buf
+        )
+        self._mu_total = np.ndarray(
+            (1,), dtype=np.float64, buffer=self._ctl.buf, offset=_MU_TOTAL_OFFSET
+        )
+
+    def _map_data(self, capacity: int) -> None:
+        buf = self._data.buf
+        f = self.f
+        self._vecs = np.ndarray(
+            (capacity, f), dtype=np.float64, buffer=buf
+        )
+        self._biases = np.ndarray(
+            (capacity,), dtype=np.float64, buffer=buf, offset=capacity * f * 8
+        )
+        self._has_vec = np.ndarray(
+            (capacity,),
+            dtype=np.uint8,
+            buffer=buf,
+            offset=capacity * f * 8 + capacity * 8,
+        )
+
+    # ------------------------------------------------------------------
+    # Cross-process locking
+    # ------------------------------------------------------------------
+
+    def _lock_fd(self) -> int:
+        if self._fd is None:
+            self._fd = os.open(self._lock_path, os.O_RDWR | os.O_CREAT, 0o600)
+        return self._fd
+
+    @contextmanager
+    def _shared(self) -> Iterator[None]:
+        """Row-level access: many holders, excluded only by :meth:`_excl`."""
+        with self._tlock:
+            fd = self._lock_fd()
+            fcntl.flock(fd, fcntl.LOCK_SH)
+            try:
+                self._refresh()
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+
+    @contextmanager
+    def _excl(self) -> Iterator[None]:
+        """Structure-level access: interning, growth, counters, snapshots."""
+        with self._tlock:
+            fd = self._lock_fd()
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                self._refresh()
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+
+    # ------------------------------------------------------------------
+    # Generation refresh (remap protocol, reader side)
+    # ------------------------------------------------------------------
+
+    def _refresh(self) -> None:
+        """Re-attach any segment whose generation moved; parse new ids."""
+        data_gen = int(self._slots[_DATA_GEN])
+        if data_gen != self._data_gen:
+            if self._data is not None:
+                self._data.close()
+            self._data = _attach_segment(f"{self._base}-d{data_gen}")
+            self._data_gen = data_gen
+            self._map_data(int(self._slots[_CAPACITY]))
+        ids_gen = int(self._slots[_IDS_GEN])
+        if ids_gen != self._ids_gen:
+            if self._ids_seg is not None:
+                self._ids_seg.close()
+            self._ids_seg = _attach_segment(f"{self._base}-i{ids_gen}")
+            self._ids_gen = ids_gen
+            # The blob is copied verbatim on growth, so the parse offset
+            # survives a generation bump — only the mapping is stale.
+        used = int(self._slots[_IDS_USED])
+        if used > self._parsed:
+            chunk = bytes(self._ids_seg.buf[self._parsed : used])
+            for raw in chunk.split(_SEPARATOR):
+                if raw:
+                    entity_id = raw.decode("utf-8")
+                    self._rows[entity_id] = len(self._ids)
+                    self._ids.append(entity_id)
+            self._parsed = used
+
+    # ------------------------------------------------------------------
+    # Growth (writer side; caller holds the exclusive lock)
+    # ------------------------------------------------------------------
+
+    def _grow_data(self, need: int) -> None:
+        capacity = int(self._slots[_CAPACITY])
+        if need <= capacity:
+            return
+        new_capacity = max(capacity * 2, need)
+        new_gen = self._data_gen + 1
+        fresh = _create_segment(
+            f"{self._base}-d{new_gen}", self._data_bytes(new_capacity, self.f)
+        )
+        n = int(self._slots[_N_INTERNED])
+        old_vecs, old_biases, old_has = self._vecs, self._biases, self._has_vec
+        old_seg = self._data
+        self._data = fresh
+        self._map_data(new_capacity)
+        self._vecs[:n] = old_vecs[:n]
+        self._biases[:n] = old_biases[:n]
+        self._has_vec[:n] = old_has[:n]
+        del old_vecs, old_biases, old_has
+        self._slots[_CAPACITY] = new_capacity
+        self._slots[_DATA_GEN] = new_gen
+        self._data_gen = new_gen
+        old_name = old_seg.name
+        old_seg.close()
+        _unlink_quietly(old_name)
+
+    def _grow_ids(self, need: int) -> None:
+        ids_cap = int(self._slots[_IDS_CAP])
+        if need <= ids_cap:
+            return
+        new_cap = max(ids_cap * 2, need)
+        new_gen = self._ids_gen + 1
+        fresh = _create_segment(f"{self._base}-i{new_gen}", new_cap)
+        used = int(self._slots[_IDS_USED])
+        fresh.buf[:used] = self._ids_seg.buf[:used]
+        old_seg = self._ids_seg
+        self._ids_seg = fresh
+        self._slots[_IDS_CAP] = new_cap
+        self._slots[_IDS_GEN] = new_gen
+        self._ids_gen = new_gen
+        old_name = old_seg.name
+        old_seg.close()
+        _unlink_quietly(old_name)
+
+    def _intern_locked(self, entity_id: str) -> int:
+        """Intern under the exclusive lock (caller must hold it)."""
+        row = self._rows.get(entity_id)
+        if row is not None:
+            return row
+        raw = entity_id.encode("utf-8")
+        if _SEPARATOR in raw:
+            raise ValueError(
+                f"entity id may not contain newline: {entity_id!r}"
+            )
+        row = int(self._slots[_N_INTERNED])
+        self._grow_data(row + 1)
+        used = int(self._slots[_IDS_USED])
+        self._grow_ids(used + len(raw) + 1)
+        self._ids_seg.buf[used : used + len(raw)] = raw
+        self._ids_seg.buf[used + len(raw) : used + len(raw) + 1] = _SEPARATOR
+        self._slots[_IDS_USED] = used + len(raw) + 1
+        self._slots[_N_INTERNED] = row + 1
+        self._rows[entity_id] = row
+        self._ids.append(entity_id)
+        self._parsed = used + len(raw) + 1
+        return row
+
+    def _row_or_intern(self, entity_id: str) -> int:
+        with self._shared():
+            row = self._rows.get(entity_id)
+        if row is not None:
+            return row
+        with self._excl():
+            return self._intern_locked(entity_id)
+
+    def _check_dim(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.f,):
+            raise ValueError(
+                f"vector shape {vector.shape} does not match arena f={self.f}"
+            )
+        return vector
+
+    # ------------------------------------------------------------------
+    # Reads (FactorArena contract: return copies)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._shared():
+            return int(self._slots[_N_VEC])
+
+    def __contains__(self, entity_id: str) -> bool:
+        with self._shared():
+            row = self._rows.get(entity_id)
+            return row is not None and bool(self._has_vec[row])
+
+    def ids(self) -> list[str]:
+        with self._shared():
+            return [
+                entity_id
+                for entity_id in self._ids
+                if self._has_vec[self._rows[entity_id]]
+            ]
+
+    def interned_count(self) -> int:
+        with self._shared():
+            return int(self._slots[_N_INTERNED])
+
+    def capacity(self) -> int:
+        with self._shared():
+            return int(self._slots[_CAPACITY])
+
+    def generation(self) -> tuple[int, int]:
+        """Current ``(data, ids)`` generations (remap-protocol telemetry)."""
+        with self._shared():
+            return int(self._slots[_DATA_GEN]), int(self._slots[_IDS_GEN])
+
+    def vector(self, entity_id: str) -> np.ndarray | None:
+        with self._shared():
+            row = self._rows.get(entity_id)
+            if row is None or not self._has_vec[row]:
+                return None
+            return self._vecs[row].copy()
+
+    def bias(self, entity_id: str, default: float = 0.0) -> float:
+        with self._shared():
+            row = self._rows.get(entity_id)
+            return default if row is None else float(self._biases[row])
+
+    def vectors_many(self, entity_ids: list[str]) -> list[np.ndarray | None]:
+        with self._shared():
+            out: list[np.ndarray | None] = []
+            for entity_id in entity_ids:
+                row = self._rows.get(entity_id)
+                if row is None or not self._has_vec[row]:
+                    out.append(None)
+                else:
+                    out.append(self._vecs[row].copy())
+            return out
+
+    def vectors_matrix(self, entity_ids: list[str]) -> np.ndarray:
+        n = len(entity_ids)
+        with self._shared():
+            idx = np.empty(n, dtype=np.int64)
+            for position, entity_id in enumerate(entity_ids):
+                row = self._rows.get(entity_id, -1)
+                if row >= 0 and not self._has_vec[row]:
+                    row = -1
+                idx[position] = row
+            out = self._vecs[np.where(idx >= 0, idx, 0)]
+            out[idx < 0] = 0.0
+            return out
+
+    def biases_array(self, entity_ids: list[str]) -> np.ndarray:
+        n = len(entity_ids)
+        with self._shared():
+            idx = np.fromiter(
+                (self._rows.get(entity_id, -1) for entity_id in entity_ids),
+                dtype=np.int64,
+                count=n,
+            )
+            out = self._biases[np.where(idx >= 0, idx, 0)]
+            out[idx < 0] = 0.0
+            return out
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def set_vector(self, entity_id: str, vector: np.ndarray) -> None:
+        vector = self._check_dim(vector)
+        row = self._row_or_intern(entity_id)
+        with self._shared():
+            if self._has_vec[row]:
+                self._vecs[row] = vector
+                return
+        with self._excl():
+            self._vecs[row] = vector
+            if not self._has_vec[row]:
+                self._has_vec[row] = 1
+                self._slots[_N_VEC] += 1
+
+    def set_bias(self, entity_id: str, bias: float) -> None:
+        row = self._row_or_intern(entity_id)
+        with self._shared():
+            self._biases[row] = bias
+
+    def put(self, entity_id: str, vector: np.ndarray, bias: float) -> None:
+        """The SGD-commit hot path: row write under the shared lock when
+        the row is already learned (steady state), exclusive only on the
+        first touch (``n_vec`` bookkeeping)."""
+        vector = self._check_dim(vector)
+        row = self._row_or_intern(entity_id)
+        with self._shared():
+            if self._has_vec[row]:
+                self._vecs[row] = vector
+                self._biases[row] = bias
+                return
+        with self._excl():
+            self._vecs[row] = vector
+            self._biases[row] = bias
+            if not self._has_vec[row]:
+                self._has_vec[row] = 1
+                self._slots[_N_VEC] += 1
+
+    def put_many(
+        self, items: Iterable[tuple[str, np.ndarray, float]]
+    ) -> None:
+        """Apply many writes under one exclusive pass (batch commit)."""
+        items = list(items)
+        if not items:
+            return
+        with self._excl():
+            for entity_id, vector, bias in items:
+                vector = self._check_dim(vector)
+                row = self._intern_locked(entity_id)
+                self._vecs[row] = vector
+                self._biases[row] = bias
+                if not self._has_vec[row]:
+                    self._has_vec[row] = 1
+                    self._slots[_N_VEC] += 1
+
+    def setdefault_vector(self, entity_id: str, factory) -> np.ndarray:
+        with self._shared():
+            row = self._rows.get(entity_id)
+            if row is not None and self._has_vec[row]:
+                return self._vecs[row].copy()
+        with self._excl():
+            row = self._intern_locked(entity_id)
+            if not self._has_vec[row]:
+                self._vecs[row] = self._check_dim(factory())
+                self._has_vec[row] = 1
+                self._slots[_N_VEC] += 1
+            return self._vecs[row].copy()
+
+    def delete(self, entity_id: str) -> bool:
+        with self._excl():
+            row = self._rows.get(entity_id)
+            if row is None or not self._has_vec[row]:
+                return False
+            self._has_vec[row] = 0
+            self._vecs[row] = 0.0
+            self._biases[row] = 0.0
+            self._slots[_N_VEC] -= 1
+            return True
+
+    # ------------------------------------------------------------------
+    # Shared mu accumulator (model plane)
+    # ------------------------------------------------------------------
+
+    def mu_state(self) -> tuple[float, int]:
+        with self._shared():
+            return float(self._mu_total[0]), int(self._slots[_MU_COUNT])
+
+    def mu_fold(self, ratings: Iterable[float]) -> None:
+        """Atomically fold observed ratings into the shared ``mu``."""
+        ratings = list(ratings)
+        if not ratings:
+            return
+        with self._excl():
+            total = float(self._mu_total[0])
+            count = int(self._slots[_MU_COUNT])
+            for rating in ratings:
+                total += rating
+                count += 1
+            self._mu_total[0] = total
+            self._slots[_MU_COUNT] = count
+
+    def mu_set(self, total: float, count: int) -> None:
+        with self._excl():
+            self._mu_total[0] = total
+            self._slots[_MU_COUNT] = count
+
+    # ------------------------------------------------------------------
+    # Bulk export / snapshot / restore
+    # ------------------------------------------------------------------
+
+    def export_rows(
+        self,
+    ) -> tuple[list[str], np.ndarray, np.ndarray, np.ndarray]:
+        """Coherent compacted copies (exclusive: no writer can overlap)."""
+        with self._excl():
+            n = int(self._slots[_N_INTERNED])
+            return (
+                list(self._ids[:n]),
+                self._vecs[:n].copy(),
+                self._biases[:n].copy(),
+                self._has_vec[:n].astype(bool),
+            )
+
+    def items(self) -> Iterator[tuple[str, np.ndarray, float]]:
+        ids, vecs, biases, has_vec = self.export_rows()
+        for row, entity_id in enumerate(ids):
+            if has_vec[row]:
+                yield entity_id, vecs[row].copy(), float(biases[row])
+
+    def snapshot(self) -> FactorArena:
+        """A plain in-process :class:`FactorArena` copy of the block.
+
+        Taken under the exclusive lock, so the rows form one coherent cut
+        of training — the view checkpoints must capture.
+        """
+        ids, vecs, biases, has_vec = self.export_rows()
+        arena = FactorArena(self.f, initial_capacity=max(len(ids), 1))
+        arena.__setstate__(
+            {
+                "f": self.f,
+                "ids": ids,
+                "vecs": vecs,
+                "biases": biases,
+                "has_vec": has_vec,
+            }
+        )
+        return arena
+
+    def load_arena(self, arena: FactorArena) -> None:
+        """Bulk-load a plain arena's rows (checkpoint restore path)."""
+        ids, vecs, biases, has_vec = arena.export_rows()
+        with self._excl():
+            for row_idx, entity_id in enumerate(ids):
+                row = self._intern_locked(entity_id)
+                self._vecs[row] = vecs[row_idx]
+                self._biases[row] = biases[row_idx]
+                learned = bool(has_vec[row_idx])
+                if learned and not self._has_vec[row]:
+                    self._has_vec[row] = 1
+                    self._slots[_N_VEC] += 1
+                elif not learned and self._has_vec[row]:
+                    self._has_vec[row] = 0
+                    self._slots[_N_VEC] -= 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach this process's mappings (segments live on)."""
+        with self._tlock:
+            for seg_name in ("_data", "_ids_seg", "_ctl"):
+                seg = getattr(self, seg_name, None)
+                if seg is not None:
+                    for view in ("_vecs", "_biases", "_has_vec", "_slots", "_mu_total"):
+                        if hasattr(self, view):
+                            delattr(self, view)
+                    try:
+                        seg.close()
+                    except Exception:  # pragma: no cover - double close
+                        pass
+                    setattr(self, seg_name, None)
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def unlink(self) -> None:
+        """Remove the segments (owner only; workers just :meth:`close`)."""
+        if self._finalizer is not None:
+            atexit.unregister(self._finalizer)
+            self._finalizer.detach()
+            self._finalizer = None
+        self.close()
+        _cleanup_by_name(self._base, self._lock_path)
+
+    def __enter__(self) -> "SharedFactorArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.owner:
+            self.unlink()
+        else:
+            self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SharedFactorArena(name={self._base!r}, f={self.f})"
+
+
+class SharedModelState:
+    """The model plane's shared block: one arena per entity kind + ``mu``.
+
+    This is what a worker process needs to run SGD against the one true
+    parameter set: ``user``/``video`` factor arenas in shared memory and
+    the global-average accumulator (kept in the user arena's control
+    block, folded under the exclusive lock so concurrent workers never
+    lose an observation).  Pickles as attach-by-name handles, so bolt
+    factories can close over it and reconstruct inside a worker.
+    """
+
+    def __init__(
+        self, user: SharedFactorArena, video: SharedFactorArena
+    ) -> None:
+        if user.f != video.f:
+            raise ValueError(
+                f"user/video arenas disagree on f: {user.f} != {video.f}"
+            )
+        self.user = user
+        self.video = video
+        self.f = user.f
+
+    @classmethod
+    def create(
+        cls, f: int, initial_capacity: int = 64, name: str | None = None
+    ) -> "SharedModelState":
+        base = name or f"repro-model-{secrets.token_hex(6)}"
+        return cls(
+            SharedFactorArena(
+                f, initial_capacity=initial_capacity, name=f"{base}-u"
+            ),
+            SharedFactorArena(
+                f, initial_capacity=initial_capacity, name=f"{base}-v"
+            ),
+        )
+
+    @classmethod
+    def attach(cls, names: tuple[str, str]) -> "SharedModelState":
+        return cls(
+            SharedFactorArena.attach(names[0]),
+            SharedFactorArena.attach(names[1]),
+        )
+
+    def __reduce__(self):
+        return (SharedModelState.attach, (self.names,))
+
+    @property
+    def names(self) -> tuple[str, str]:
+        return (self.user.name, self.video.name)
+
+    def arena(self, kind: str) -> SharedFactorArena:
+        if kind == "user":
+            return self.user
+        if kind == "video":
+            return self.video
+        raise KeyError(kind)
+
+    # -- shared mu ---------------------------------------------------------
+
+    def mu_state(self) -> tuple[float, int]:
+        return self.user.mu_state()
+
+    def mu_fold(self, ratings: Iterable[float]) -> None:
+        self.user.mu_fold(ratings)
+
+    def mu_set(self, total: float, count: int) -> None:
+        self.user.mu_set(total, count)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self.user.close()
+        self.video.close()
+
+    def unlink(self) -> None:
+        self.user.unlink()
+        self.video.unlink()
+
+    def __enter__(self) -> "SharedModelState":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.user.__exit__(*exc_info)
+        self.video.__exit__(*exc_info)

@@ -1,0 +1,494 @@
+"""Process-parallel topology execution — real cores, not GIL slices.
+
+:class:`ProcessExecutor` runs every bolt worker in its own OS process,
+which is what the paper's Storm deployment actually does: true parallel
+SGD across workers, with fields grouping guaranteeing that each key's
+state still has exactly one writer — now one writer *process*.  Model
+state that must be shared (the factor block) lives in a
+:class:`~repro.core.shm_arena.SharedFactorArena`, so workers update the
+same parameters through mapped memory instead of message passing.
+
+Architecture:
+
+* **Spouts stay in the parent.**  The parent polls spout workers
+  round-robin (exactly :class:`~repro.storm.executor.LocalExecutor`'s
+  source order) and routes each emission into the target worker's
+  ``multiprocessing.Queue``.  One queue per bolt worker keeps per-key
+  FIFO: a fields-grouped key maps to one worker, and every producer's
+  puts into that worker's queue arrive in order.
+* **Bolt workers are child processes.**  Each child runs a
+  :class:`_ChildRuntime` — the same `_process_one`/`_flush_one` machinery
+  (supervised restarts, failure accounting) as the in-process executors —
+  over exactly one bolt instance, pulling from its inbox and routing its
+  emissions into downstream workers' queues directly.
+* **Termination is counted, not guessed.**  A shared in-flight counter is
+  incremented before every enqueue and decremented after the delivery
+  (and all of its downstream enqueues) completes; spout exhaustion plus
+  ``inflight == 0`` means the stream has fully drained.  End-of-stream
+  ``flush`` then proceeds one bolt component at a time in declaration
+  order — the parent sends a flush control to every worker of a
+  component, waits for their acks *and* for the resulting cascade to
+  drain, and only then moves to the next component, reproducing
+  ``_flush_all``'s topological ordering across processes.
+* **Results come home as data.**  At shutdown each child sends one report:
+  its :class:`~repro.storm.metrics.TopologyMetrics` snapshot
+  (merged into the parent's, so ``metrics.snapshot()`` describes the whole
+  run), the delta of every counter in the inherited
+  :class:`~repro.obs.MetricsRegistry` (replayed into the parent's registry,
+  so application-level counters match the in-process executors exactly),
+  and the ``state_snapshot()`` of any bolt that defines one (surfaced as
+  ``executor.bolt_states``, since a results dict closed over by a factory
+  cannot cross a process boundary).
+
+Deliberate limitations, documented rather than half-supported: requires a
+``fork`` start method (factories need not pickle; Linux/macOS), trace
+spans do not cross process boundaries (``obs`` still merges metrics), and
+``ShuffleGrouping``'s round-robin state is per-producer-process, so only
+fields/global/all-grouped topologies are *deterministically* equivalent
+across executors — the same caveat the threaded executor has with thread
+interleaving, made explicit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+from typing import TYPE_CHECKING
+
+from ..errors import ComponentError
+from .executor import _Delivery, _ExecutorBase, _POLL_INTERVAL
+from .topology import Spout, Topology
+
+if TYPE_CHECKING:
+    from ..obs import Observability
+    from ..obs.registry import MetricsRegistry
+    from ..reliability.supervisor import Supervisor
+    from .metrics import TopologyMetrics
+
+__all__ = ["ProcessExecutor"]
+
+_FLUSH = "__flush__"
+_STOP = "__stop__"
+_JOIN_TIMEOUT = 10.0
+
+
+def _counter_state(registry: "MetricsRegistry") -> dict:
+    """Every counter leaf in ``registry`` as plain comparable data.
+
+    ``{name: (help, labelnames, {labels_tuple: value})}`` — enough to both
+    diff against a baseline and re-create the series in another process.
+    """
+    from ..obs.registry import Counter
+
+    state: dict = {}
+    for name in registry.names():
+        instrument = registry.get(name)
+        if not isinstance(instrument, Counter):
+            continue
+        series = {}
+        for labels, leaf in instrument._series():
+            key = tuple(sorted(labels.items()))
+            series[key] = leaf.value
+        state[name] = (instrument.help, tuple(instrument.labelnames), series)
+    return state
+
+
+def _counter_deltas(baseline: dict, final: dict) -> dict:
+    """What the worker added on top of its forked baseline."""
+    deltas: dict = {}
+    for name, (help_text, labelnames, series) in final.items():
+        base_series = baseline.get(name, (None, None, {}))[2]
+        changed = {}
+        for key, value in series.items():
+            delta = value - base_series.get(key, 0.0)
+            if delta > 0:
+                changed[key] = delta
+        if changed:
+            deltas[name] = (help_text, labelnames, changed)
+    return deltas
+
+
+def _replay_deltas(registry: "MetricsRegistry", deltas: dict) -> None:
+    """Fold a worker's counter deltas into the parent registry."""
+    for name, (help_text, labelnames, series) in deltas.items():
+        counter = registry.counter(name, help_text, labelnames=labelnames)
+        for key, delta in series.items():
+            leaf = counter.labels(**dict(key)) if labelnames else counter
+            leaf.inc(delta)
+
+
+class _ChildRuntime(_ExecutorBase):
+    """One bolt worker's execution loop inside a child process.
+
+    Reuses the base machinery — supervised restart-and-retry in
+    `_process_one`, flush routing in `_flush_one` — over a single bolt
+    instance.  Metrics are recorded into a private, registry-less
+    :class:`TopologyMetrics` and shipped home as the final report; the
+    inherited ``obs.registry`` (if any) is diffed against its fork-time
+    baseline so application counters incremented by bolt code travel too.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        name: str,
+        worker: int,
+        fail_fast: bool,
+        supervisor: "Supervisor | None",
+        queues: dict,
+        inflight,
+        stop,
+        reports,
+        registry: "MetricsRegistry | None",
+    ) -> None:
+        super().__init__(topology, fail_fast=fail_fast, supervisor=supervisor)
+        self._name = name
+        self._worker = worker
+        self._queues = queues
+        self._inbox = queues[(name, worker)]
+        self._inflight = inflight
+        self._stop = stop
+        self._reports = reports
+        self._registry = registry
+
+    def _instantiate(self) -> None:
+        """Create only this worker's bolt (the whole point of sharding)."""
+        if self._opened:
+            return
+        from .topology import ComponentContext
+
+        spec = self.topology.components[self._name]
+        bolt = spec.factory()
+        bolt.prepare(
+            ComponentContext(self._name, self._worker, spec.parallelism)
+        )
+        self._bolt_workers[(self._name, self._worker)] = bolt
+        self._opened = True
+
+    def _enqueue(self, delivery: _Delivery) -> None:
+        with self._inflight.get_lock():
+            self._inflight.value += 1
+        q = self._queues[(delivery.target, delivery.worker)]
+        while True:
+            try:
+                q.put(delivery, timeout=_POLL_INTERVAL)
+                break
+            except queue_mod.Full:
+                if self._stop.is_set():
+                    with self._inflight.get_lock():
+                        self._inflight.value -= 1
+                    return
+        try:
+            depth = q.qsize()
+        except NotImplementedError:  # pragma: no cover - macOS
+            depth = 0
+        self.metrics.component(delivery.target).record_queue_depth(depth)
+
+    def _done_one(self) -> None:
+        with self._inflight.get_lock():
+            self._inflight.value -= 1
+
+    def loop(self) -> None:
+        baseline = (
+            _counter_state(self._registry)
+            if self._registry is not None
+            else {}
+        )
+        self._instantiate()
+        error: tuple[str, str] | None = None
+        try:
+            while True:
+                try:
+                    item = self._inbox.get(timeout=_POLL_INTERVAL)
+                except queue_mod.Empty:
+                    if self._stop.is_set():
+                        break
+                    continue
+                if item == _STOP:
+                    break
+                if item == _FLUSH:
+                    try:
+                        for child in self._flush_one(self._name, self._worker):
+                            self._enqueue(child)
+                    except ComponentError as exc:
+                        error = (exc.component, repr(exc.original))
+                        self._stop.set()
+                        break
+                    finally:
+                        # Ack via the report queue: the parent counts them.
+                        self._reports.put(("flush_ack", self._name, self._worker))
+                    continue
+                try:
+                    for child in self._process_one(item):
+                        self._enqueue(child)
+                except ComponentError as exc:
+                    error = (exc.component, repr(exc.original))
+                    self._stop.set()
+                    self._done_one()
+                    break
+                self._done_one()
+        finally:
+            try:
+                self._shutdown()
+            except Exception:  # noqa: BLE001 - never mask the real report
+                pass
+            deltas = (
+                _counter_deltas(baseline, _counter_state(self._registry))
+                if self._registry is not None
+                else {}
+            )
+            self._reports.put(
+                (
+                    "report",
+                    self._name,
+                    self._worker,
+                    self.metrics.to_serializable(),
+                    deltas,
+                    dict(self.bolt_states),
+                    error,
+                )
+            )
+
+
+def _child_main(runtime: _ChildRuntime) -> None:
+    runtime.loop()
+
+
+class ProcessExecutor(_ExecutorBase):
+    """One process per bolt worker over ``multiprocessing`` queues.
+
+    Drop-in alongside :class:`LocalExecutor`/:class:`ThreadedExecutor`:
+    same constructor shape, same :meth:`run` contract, same grouping
+    semantics.  Bolts that must share model state should do it through a
+    :class:`~repro.core.shm_arena.SharedFactorArena` (or any other
+    process-shared medium) — per-instance attributes are private to each
+    worker process, exactly as fields grouping assumes.
+
+    ``queue_size`` bounds each worker's inbox; producers block when it is
+    full (backpressure to the spout).  The shed policies of the threaded
+    executor are not offered here — cross-process sheds cannot keep the
+    in-flight ledger exact without another round trip, and the paper's
+    topology sheds at ingest, not between bolts.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        fail_fast: bool = True,
+        queue_size: int = 10_000,
+        supervisor: "Supervisor | None" = None,
+        obs: "Observability | None" = None,
+    ) -> None:
+        super().__init__(
+            topology, fail_fast=fail_fast, supervisor=supervisor, obs=obs
+        )
+        # Spans cannot cross process boundaries; a deferred parent span
+        # would wait forever for children completed in another process.
+        self._tracer = None
+        if "fork" not in mp.get_all_start_methods():
+            raise OSError(
+                "ProcessExecutor requires the 'fork' start method "
+                "(POSIX); use ThreadedExecutor on this platform"
+            )
+        self._ctx = mp.get_context("fork")
+        self._queue_size = queue_size
+        self._child_error: ComponentError | None = None
+
+    # -- parent-side plumbing ---------------------------------------------
+
+    def _instantiate(self) -> None:
+        """Parent creates spout instances only; bolts live in children."""
+        if self._opened:
+            return
+        from .topology import ComponentContext
+
+        for spec in self.topology.spouts:
+            for worker in range(spec.parallelism):
+                spout = spec.factory()
+                spout.open(ComponentContext(spec.name, worker, spec.parallelism))
+                self._spout_workers.append((spec.name, worker, spout))
+        self._opened = True
+
+    def _shutdown(self) -> None:
+        for _, _, spout in self._spout_workers:
+            spout.close()
+
+    def _enqueue(self, delivery: _Delivery, queues, inflight, stop) -> bool:
+        with inflight.get_lock():
+            inflight.value += 1
+        q = queues[(delivery.target, delivery.worker)]
+        while True:
+            try:
+                q.put(delivery, timeout=_POLL_INTERVAL)
+                break
+            except queue_mod.Full:
+                if stop.is_set():
+                    with inflight.get_lock():
+                        inflight.value -= 1
+                    return False
+        try:
+            depth = q.qsize()
+        except NotImplementedError:  # pragma: no cover - macOS
+            depth = 0
+        self.metrics.component(delivery.target).record_queue_depth(depth)
+        return True
+
+    def _spout_drive(self, queues, inflight, stop, max_tuples) -> None:
+        """Poll spouts round-robin (LocalExecutor's order) and route."""
+        from collections import deque
+
+        live = deque(self._spout_workers)
+        consumed = 0
+        while live and not stop.is_set():
+            if max_tuples is not None and consumed >= max_tuples:
+                return
+            name, worker, spout = live.popleft()
+            try:
+                tup = spout.next_tuple()
+            except Exception as exc:  # noqa: BLE001 - isolate spout failures
+                self.metrics.component(name).record_failure()
+                raise ComponentError(name, exc) from exc
+            if tup is None:
+                continue  # exhausted: do not requeue
+            live.append((name, worker, spout))
+            consumed += 1
+            self.metrics.component(name).record_emit()
+            for delivery in self._route(name, tup):
+                self._enqueue(delivery, queues, inflight, stop)
+
+    def _wait_drained(self, inflight, stop, procs, deadline) -> None:
+        """Block until the in-flight ledger reaches zero (or abort)."""
+        while not stop.is_set():
+            with inflight.get_lock():
+                if inflight.value == 0:
+                    return
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("ProcessExecutor run timed out")
+            if any(p.exitcode not in (None, 0) for p in procs):
+                raise RuntimeError(
+                    "a worker process died without reporting; "
+                    "aborting the run"
+                )
+            time.sleep(_POLL_INTERVAL)
+
+    def run(
+        self, max_tuples: int | None = None, timeout: float | None = None
+    ) -> "TopologyMetrics":
+        """Run until every spout is exhausted; return merged metrics."""
+        self._instantiate()
+        ctx = self._ctx
+        queues = {
+            (spec.name, worker): ctx.Queue(self._queue_size)
+            for spec in self.topology.bolts
+            for worker in range(spec.parallelism)
+        }
+        inflight = ctx.Value("l", 0)
+        stop = ctx.Event()
+        reports = ctx.Queue()
+        registry = self.obs.registry if self.obs is not None else None
+        runtimes = [
+            _ChildRuntime(
+                self.topology,
+                name,
+                worker,
+                self.fail_fast,
+                self.supervisor,
+                queues,
+                inflight,
+                stop,
+                reports,
+                registry,
+            )
+            for (name, worker) in queues
+        ]
+        procs = [
+            ctx.Process(target=_child_main, args=(runtime,), daemon=True)
+            for runtime in runtimes
+        ]
+        for proc in procs:
+            proc.start()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        error: ComponentError | None = None
+        pending_acks = 0
+        received: set[tuple[str, int]] = set()
+        try:
+            self._spout_drive(queues, inflight, stop, max_tuples)
+            self._wait_drained(inflight, stop, procs, deadline)
+            # End-of-stream flush, one component at a time in
+            # declaration order (the cross-process _flush_all).
+            for spec in self.topology.bolts:
+                if stop.is_set():
+                    break
+                for worker in range(spec.parallelism):
+                    queues[(spec.name, worker)].put(_FLUSH)
+                    pending_acks += 1
+                while pending_acks and not stop.is_set():
+                    try:
+                        msg = reports.get(timeout=_POLL_INTERVAL)
+                    except queue_mod.Empty:
+                        continue
+                    if msg[0] == "flush_ack":
+                        pending_acks -= 1
+                    else:  # an early report: a worker hit an error
+                        self._absorb_report(msg, received)
+                self._wait_drained(inflight, stop, procs, deadline)
+        except ComponentError as exc:
+            error = exc
+            stop.set()
+        finally:
+            stop.set()
+            for q in queues.values():
+                try:
+                    q.put_nowait(_STOP)
+                except queue_mod.Full:
+                    pass  # the worker exits on the stop event instead
+            # Drain every child's final report before joining: the
+            # queue feeder threads must be emptied for join to return.
+            remaining = len(runtimes) - len(received)
+            waited_until = time.monotonic() + _JOIN_TIMEOUT
+            while remaining > 0 and time.monotonic() < waited_until:
+                try:
+                    msg = reports.get(timeout=_POLL_INTERVAL)
+                except queue_mod.Empty:
+                    if all(p.exitcode is not None for p in procs):
+                        break
+                    continue
+                if msg[0] == "flush_ack":
+                    continue
+                self._absorb_report(msg, received)
+                remaining -= 1
+            for proc in procs:
+                proc.join(timeout=_JOIN_TIMEOUT)
+                if proc.is_alive():  # pragma: no cover - hung worker
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+            for q in list(queues.values()) + [reports]:
+                q.close()
+                q.cancel_join_thread()
+            self._shutdown()
+        if error is None:
+            error = self._child_error
+        if error is not None and self.fail_fast:
+            raise error
+        return self.metrics
+
+    def _absorb_report(self, msg, received) -> None:
+        """Merge one child's final report into parent-side state."""
+        kind = msg[0]
+        if kind != "report":  # pragma: no cover - defensive
+            return
+        _, name, worker, metrics_data, deltas, bolt_states, error = msg
+        if (name, worker) in received:
+            return
+        received.add((name, worker))
+        self.metrics.merge_serialized(metrics_data)
+        if self.obs is not None and deltas:
+            _replay_deltas(self.obs.registry, deltas)
+        self.bolt_states.update(bolt_states)
+        if error is not None and self._child_error is None:
+            component, original = error
+            self._child_error = ComponentError(
+                component, RuntimeError(original)
+            )

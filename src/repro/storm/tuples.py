@@ -66,6 +66,12 @@ class StreamTuple(Mapping[str, Any]):
         tup = StreamTuple(self._values, stream=self.stream, trace=trace)
         return tup
 
+    def __reduce__(self):
+        # MappingProxyType does not pickle; rebuild from a plain dict.
+        # Trace metadata is process-local (spans live in the tracer that
+        # minted them), so it does not cross a process boundary.
+        return (StreamTuple, (dict(self._values), self.stream))
+
     def __repr__(self) -> str:
         body = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
         return f"StreamTuple({body}, stream={self.stream!r})"

@@ -1,0 +1,319 @@
+"""Unit tests for the shared-memory factor arena.
+
+Covers the ``FactorArena`` API contract over shared segments, the
+generation-based growth/remap protocol, attach-by-name (and pickling as an
+attach handle), the shared ``mu`` accumulator, coherent snapshots, bulk
+restore, and segment lifecycle (owner unlinks, attachers only close).
+"""
+
+import multiprocessing as mp
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import FactorArena, SharedFactorArena, SharedModelState
+
+
+def _shm_entries() -> set[str]:
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return set()
+    return {name for name in os.listdir("/dev/shm") if "repro-" in name}
+
+
+@pytest.fixture
+def arena():
+    a = SharedFactorArena(f=4, initial_capacity=2)
+    yield a
+    a.unlink()
+
+
+class TestBasicOps:
+    def test_put_and_read_back(self, arena):
+        arena.put("u1", np.arange(4.0), 0.5)
+        assert np.array_equal(arena.vector("u1"), np.arange(4.0))
+        assert arena.bias("u1") == 0.5
+        assert "u1" in arena
+        assert len(arena) == 1
+
+    def test_unknown_entity(self, arena):
+        assert arena.vector("nope") is None
+        assert arena.bias("nope") == 0.0
+        assert arena.bias("nope", default=7.0) == 7.0
+        assert "nope" not in arena
+
+    def test_vector_returns_a_copy(self, arena):
+        arena.put("u1", np.ones(4), 0.0)
+        got = arena.vector("u1")
+        got[:] = 99.0
+        assert np.array_equal(arena.vector("u1"), np.ones(4))
+
+    def test_set_vector_then_bias(self, arena):
+        arena.set_vector("u1", np.full(4, 2.0))
+        arena.set_bias("u1", -1.5)
+        assert np.array_equal(arena.vector("u1"), np.full(4, 2.0))
+        assert arena.bias("u1") == -1.5
+
+    def test_setdefault_vector_initialises_once(self, arena):
+        first = arena.setdefault_vector("u1", lambda: np.full(4, 3.0))
+        second = arena.setdefault_vector("u1", lambda: np.full(4, 9.0))
+        assert np.array_equal(first, np.full(4, 3.0))
+        assert np.array_equal(second, np.full(4, 3.0))
+
+    def test_delete(self, arena):
+        arena.put("u1", np.ones(4), 1.0)
+        assert arena.delete("u1") is True
+        assert arena.delete("u1") is False
+        assert arena.vector("u1") is None
+        assert len(arena) == 0
+
+    def test_put_many_and_items(self, arena):
+        arena.put_many(
+            [(f"u{i}", np.full(4, float(i)), float(i)) for i in range(5)]
+        )
+        assert len(arena) == 5
+        items = {eid: (vec, bias) for eid, vec, bias in arena.items()}
+        assert set(items) == {f"u{i}" for i in range(5)}
+        assert np.array_equal(items["u3"][0], np.full(4, 3.0))
+
+    def test_batch_reads_match_scalar(self, arena):
+        for i in range(6):
+            arena.put(f"u{i}", np.full(4, float(i)), float(i) / 2)
+        ids = [f"u{i}" for i in range(6)] + ["missing"]
+        many = arena.vectors_many(ids)
+        matrix = arena.vectors_matrix(ids)
+        biases = arena.biases_array(ids)
+        for row, eid in enumerate(ids):
+            expected = arena.vector(eid)
+            if expected is None:
+                assert many[row] is None
+                assert np.array_equal(matrix[row], np.zeros(4))
+                assert biases[row] == 0.0
+            else:
+                assert np.array_equal(many[row], expected)
+                assert np.array_equal(matrix[row], expected)
+                assert biases[row] == arena.bias(eid)
+
+    def test_rejects_wrong_dimension(self, arena):
+        with pytest.raises(ValueError, match="shape"):
+            arena.put("u1", np.ones(3), 0.0)
+
+    def test_rejects_newline_in_id(self, arena):
+        with pytest.raises(ValueError, match="newline"):
+            arena.put("bad\nid", np.ones(4), 0.0)
+
+    def test_validates_construction(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            SharedFactorArena(f=0)
+        with pytest.raises(ValueError, match="initial_capacity"):
+            SharedFactorArena(f=2, initial_capacity=0)
+
+
+class TestGrowth:
+    def test_data_generation_bumps_and_rows_survive(self, arena):
+        for i in range(40):  # well past initial_capacity=2
+            arena.put(f"u{i}", np.full(4, float(i)), float(i))
+        data_gen, _ = arena.generation()
+        assert data_gen >= 1
+        assert arena.capacity() >= 40
+        for i in range(40):
+            assert np.array_equal(arena.vector(f"u{i}"), np.full(4, float(i)))
+
+    def test_ids_blob_growth(self):
+        a = SharedFactorArena(f=2, initial_capacity=4, ids_capacity=64)
+        try:
+            long_ids = [f"entity-{'x' * 40}-{i}" for i in range(30)]
+            for eid in long_ids:
+                a.put(eid, np.zeros(2), 0.0)
+            _, ids_gen = a.generation()
+            assert ids_gen >= 1
+            assert sorted(a.ids()) == sorted(long_ids)
+        finally:
+            a.unlink()
+
+    def test_stale_attacher_follows_growth(self, arena):
+        other = SharedFactorArena.attach(arena.name)
+        arena.put("u0", np.ones(4), 1.0)
+        assert np.array_equal(other.vector("u0"), np.ones(4))
+        # Force several generations while `other` holds old mappings.
+        for i in range(64):
+            arena.put(f"u{i}", np.full(4, float(i)), 0.0)
+        assert np.array_equal(other.vector("u63"), np.full(4, 63.0))
+        assert len(other) == 64
+        other.close()
+
+
+class TestAttachAndPickle:
+    def test_attach_sees_writes_both_ways(self, arena):
+        other = SharedFactorArena.attach(arena.name)
+        arena.put("from-owner", np.ones(4), 1.0)
+        assert np.array_equal(other.vector("from-owner"), np.ones(4))
+        other.put("from-attacher", np.full(4, 2.0), 2.0)
+        assert np.array_equal(arena.vector("from-attacher"), np.full(4, 2.0))
+        assert not other.owner
+        other.close()
+
+    def test_attach_unknown_name_raises(self):
+        with pytest.raises(FileNotFoundError):
+            SharedFactorArena.attach("repro-arena-does-not-exist")
+
+    def test_pickle_roundtrip_is_attach(self, arena):
+        arena.put("u1", np.arange(4.0), 0.25)
+        clone = pickle.loads(pickle.dumps(arena))
+        assert clone.name == arena.name
+        assert not clone.owner
+        assert np.array_equal(clone.vector("u1"), np.arange(4.0))
+        clone.close()
+
+    def test_cross_process_visibility(self, arena):
+        def child(name, done):
+            worker = SharedFactorArena.attach(name)
+            worker.put("child-row", np.full(4, 7.0), 7.0)
+            worker.close()
+            done.set()
+
+        ctx = mp.get_context("fork")
+        done = ctx.Event()
+        proc = ctx.Process(target=child, args=(arena.name, done))
+        proc.start()
+        proc.join(timeout=30)
+        assert done.is_set()
+        assert np.array_equal(arena.vector("child-row"), np.full(4, 7.0))
+
+
+class TestMu:
+    def test_mu_fold_and_state(self, arena):
+        assert arena.mu_state() == (0.0, 0)
+        arena.mu_fold([1.0, 0.0, 1.0, 1.0])
+        assert arena.mu_state() == (3.0, 4)
+        arena.mu_fold([])
+        assert arena.mu_state() == (3.0, 4)
+
+    def test_mu_set(self, arena):
+        arena.mu_set(10.0, 20)
+        assert arena.mu_state() == (10.0, 20)
+
+
+class TestSnapshotRestore:
+    def test_snapshot_is_plain_arena(self, arena):
+        for i in range(10):
+            arena.put(f"u{i}", np.full(4, float(i)), float(i))
+        snap = arena.snapshot()
+        assert isinstance(snap, FactorArena)
+        assert len(snap) == 10
+        # Detached: later writes don't show up in the snapshot.
+        arena.put("u0", np.full(4, 99.0), 99.0)
+        assert np.array_equal(snap.vector("u0"), np.zeros(4))
+
+    def test_load_arena_round_trip(self, arena):
+        for i in range(8):
+            arena.put(f"u{i}", np.full(4, float(i)), float(i))
+        arena.delete("u3")
+        snap = arena.snapshot()
+        arena.put("u0", np.full(4, -1.0), -1.0)
+        arena.put("u3", np.full(4, 5.0), 5.0)
+        arena.load_arena(snap)
+        assert np.array_equal(arena.vector("u0"), np.zeros(4))
+        assert arena.vector("u3") is None
+        assert len(arena) == 7
+
+    def test_export_rows_shapes(self, arena):
+        arena.put("a", np.ones(4), 1.0)
+        arena.put("b", np.full(4, 2.0), 2.0)
+        ids, vecs, biases, has_vec = arena.export_rows()
+        assert ids == ["a", "b"]
+        assert vecs.shape == (2, 4)
+        assert biases.shape == (2,)
+        assert has_vec.dtype == bool and has_vec.all()
+
+
+class TestLifecycle:
+    def test_unlink_removes_all_segments(self):
+        before = _shm_entries()
+        a = SharedFactorArena(f=4, initial_capacity=2)
+        for i in range(20):  # force at least one growth generation
+            a.put(f"u{i}", np.zeros(4), 0.0)
+        assert _shm_entries() > before
+        a.unlink()
+        assert _shm_entries() == before
+
+    def test_growth_does_not_accumulate_segments(self):
+        before = _shm_entries()
+        a = SharedFactorArena(f=2, initial_capacity=1)
+        try:
+            for i in range(100):  # many doublings
+                a.put(f"u{i}", np.zeros(2), 0.0)
+            # Exactly one data + one ids + one ctl segment + the lock
+            # file — old generations must have been unlinked as they
+            # were superseded.
+            assert len(_shm_entries() - before) == 4
+        finally:
+            a.unlink()
+
+    def test_context_manager_owner_unlinks(self):
+        before = _shm_entries()
+        with SharedFactorArena(f=2) as a:
+            a.put("u", np.zeros(2), 0.0)
+            name = a.name
+        assert _shm_entries() == before
+        with pytest.raises(FileNotFoundError):
+            SharedFactorArena.attach(name)
+
+    def test_context_manager_attacher_only_closes(self, arena):
+        arena.put("u", np.ones(4), 1.0)
+        with SharedFactorArena.attach(arena.name) as other:
+            assert np.array_equal(other.vector("u"), np.ones(4))
+        # Attacher exit must not have torn down the shared segments.
+        assert np.array_equal(arena.vector("u"), np.ones(4))
+
+    def test_attach_rejects_non_arena_segment(self):
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(
+            name="repro-bogus-ctl", create=True, size=4096
+        )
+        try:
+            with pytest.raises(ValueError, match="not a factor arena"):
+                SharedFactorArena.attach("repro-bogus")
+        finally:
+            seg.close()
+            seg.unlink()
+
+
+class TestSharedModelState:
+    def test_create_attach_and_mu(self):
+        state = SharedModelState.create(f=3)
+        try:
+            state.user.put("u", np.zeros(3), 0.5)
+            state.video.put("v", np.ones(3), 0.25)
+            state.mu_fold([1.0, 0.0])
+            other = SharedModelState.attach(state.names)
+            assert other.video.bias("v") == 0.25
+            assert other.mu_state() == (1.0, 2)
+            clone = pickle.loads(pickle.dumps(state))
+            assert clone.user.bias("u") == 0.5
+            clone.close()
+            other.close()
+        finally:
+            state.unlink()
+
+    def test_mismatched_f_rejected(self):
+        user = SharedFactorArena(f=2)
+        video = SharedFactorArena(f=3)
+        try:
+            with pytest.raises(ValueError, match="disagree"):
+                SharedModelState(user, video)
+        finally:
+            user.unlink()
+            video.unlink()
+
+    def test_arena_kind_lookup(self):
+        state = SharedModelState.create(f=2)
+        try:
+            assert state.arena("user") is state.user
+            assert state.arena("video") is state.video
+            with pytest.raises(KeyError):
+                state.arena("nope")
+        finally:
+            state.unlink()

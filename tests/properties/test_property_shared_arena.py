@@ -1,0 +1,167 @@
+"""Property-based tests for the factor arenas against a dict reference.
+
+The reference model is the obvious thing: a ``dict`` of id → (vector,
+bias).  Random operation sequences — put, set_bias, setdefault, delete,
+snapshot, restore — must leave the arena and the dict agreeing exactly,
+through however many growth generations the sequence forces.  The same
+machine runs against the in-process :class:`FactorArena` and the
+shared-memory :class:`SharedFactorArena`, and (marked ``multiprocess``)
+with every mutation applied by a worker process attached to the same
+segments, proving the cross-process view is the same arena.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FactorArena, SharedFactorArena
+
+F = 3
+
+entity_ids = st.sampled_from([f"e{i}" for i in range(25)])
+scalars = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), entity_ids, scalars, scalars),
+        st.tuples(st.just("set_bias"), entity_ids, scalars),
+        st.tuples(st.just("setdefault"), entity_ids, scalars),
+        st.tuples(st.just("delete"), entity_ids),
+        st.tuples(st.just("snapshot_restore")),
+    ),
+    max_size=60,
+)
+
+
+def _apply(arena, reference, op) -> None:
+    """Apply one operation to both the arena under test and the model."""
+    if op[0] == "put":
+        _, eid, value, bias = op
+        arena.put(eid, np.full(F, value), bias)
+        reference[eid] = (np.full(F, value), bias)
+    elif op[0] == "set_bias":
+        _, eid, bias = op
+        arena.set_bias(eid, bias)
+        if eid in reference:
+            reference[eid] = (reference[eid][0], bias)
+        # A bias on a vector-less id is bookkeeping the reference model
+        # ignores: `ids()`/`len()` only count learned vectors.
+    elif op[0] == "setdefault":
+        _, eid, value = op
+        got = arena.setdefault_vector(eid, lambda: np.full(F, value))
+        if eid not in reference:
+            reference[eid] = (np.full(F, value), arena.bias(eid))
+        assert np.array_equal(got, reference[eid][0])
+    elif op[0] == "delete":
+        _, eid = op
+        deleted = arena.delete(eid)
+        assert deleted == (eid in reference)
+        reference.pop(eid, None)
+    elif op[0] == "snapshot_restore":
+        # Round-tripping through a snapshot must be the identity.
+        if isinstance(arena, SharedFactorArena):
+            arena.load_arena(arena.snapshot())
+
+
+def _check_agreement(arena, reference) -> None:
+    assert len(arena) == len(reference)
+    assert sorted(arena.ids()) == sorted(reference)
+    for eid, (vector, bias) in reference.items():
+        assert np.array_equal(arena.vector(eid), vector)
+        assert arena.bias(eid) == bias
+    all_ids = sorted(reference) + ["never-written"]
+    matrix = arena.vectors_matrix(all_ids)
+    biases = arena.biases_array(all_ids)
+    for row, eid in enumerate(all_ids):
+        if eid in reference:
+            assert np.array_equal(matrix[row], reference[eid][0])
+            assert biases[row] == reference[eid][1]
+        else:
+            assert np.array_equal(matrix[row], np.zeros(F))
+
+
+class TestFactorArenaProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=operations)
+    def test_matches_dict_reference(self, ops):
+        arena = FactorArena(F, initial_capacity=1)
+        reference: dict = {}
+        for op in ops:
+            _apply(arena, reference, op)
+        _check_agreement(arena, reference)
+
+
+class TestSharedArenaProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_matches_dict_reference(self, ops):
+        arena = SharedFactorArena(F, initial_capacity=1, ids_capacity=64)
+        try:
+            reference: dict = {}
+            for op in ops:
+                _apply(arena, reference, op)
+            _check_agreement(arena, reference)
+        finally:
+            arena.unlink()
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_snapshot_equals_live_state(self, ops):
+        arena = SharedFactorArena(F, initial_capacity=1, ids_capacity=64)
+        try:
+            reference: dict = {}
+            for op in ops:
+                _apply(arena, reference, op)
+            snap = arena.snapshot()
+            assert len(snap) == len(reference)
+            for eid, (vector, bias) in reference.items():
+                assert np.array_equal(snap.vector(eid), vector)
+                assert snap.bias(eid) == bias
+        finally:
+            arena.unlink()
+
+
+def _worker_apply(name: str, ops, done) -> None:
+    """Apply every mutation from a separate process attached by name."""
+    arena = SharedFactorArena.attach(name)
+    reference: dict = {}
+    for op in ops:
+        _apply(arena, reference, op)
+    arena.close()
+    done.set()
+
+
+@pytest.mark.multiprocess
+class TestSharedArenaCrossProcess:
+    @settings(max_examples=15, deadline=None)
+    @given(ops=operations)
+    def test_worker_mutations_match_reference(self, ops):
+        """A worker process applies the ops; the parent checks the result.
+
+        The parent maintains the reference model by replaying the same
+        sequence against a plain dict — the shared arena must agree with
+        it even though every write happened in another process (and the
+        growth generations it forced were created there too).
+        """
+        arena = SharedFactorArena(F, initial_capacity=1, ids_capacity=64)
+        try:
+            ctx = mp.get_context("fork")
+            done = ctx.Event()
+            proc = ctx.Process(
+                target=_worker_apply, args=(arena.name, ops, done)
+            )
+            proc.start()
+            proc.join(timeout=60)
+            assert done.is_set(), "worker did not finish"
+            reference: dict = {}
+            shadow = FactorArena(F, initial_capacity=1)
+            for op in ops:
+                _apply(shadow, reference, op)
+            _check_agreement(arena, reference)
+        finally:
+            arena.unlink()

@@ -1,0 +1,90 @@
+"""Victim process for the shared-memory lifecycle suite (run via subprocess).
+
+Modes, all acking progress on stdout so the parent can time its kill:
+
+``attach-write``::
+
+    python _shm_child.py attach-write <arena-name> [--limit N]
+
+Attaches to an existing arena by name and hammers ``put`` in a loop,
+printing ``ACK <i>`` after each write returns.  The parent SIGKILLs this
+process mid-stream — there is no signal handler and no cleanup — then
+verifies the arena is still lockable and intact, and that unlinking it
+leaves no ``/dev/shm`` residue.  (The flock the kernel holds for this
+process dies with it; a userspace lock would deadlock the parent.)
+
+``owner-exit``::
+
+    python _shm_child.py owner-exit
+
+Creates an arena, writes one row, prints ``NAME <base>``, and exits
+*without* calling ``unlink()``.  The owner's atexit/finalizer hook must
+reap every segment, so the parent asserts the name is gone afterwards.
+
+``torn-writer``::
+
+    python _shm_child.py torn-writer <arena-name> [--limit N]
+
+Attaches and rewrites one row with a uniform vector ``full(f, i)`` and
+bias ``i`` per iteration, acking each.  The parent concurrently snapshots
+and asserts every observed row is uniform with a matching bias — i.e.
+snapshots never see a torn write.
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import SharedFactorArena
+
+
+def _ack(i: int) -> None:
+    sys.stdout.write(f"ACK {i}\n")
+    sys.stdout.flush()
+
+
+def run_attach_write(name: str, limit: int) -> None:
+    arena = SharedFactorArena.attach(name)
+    f = arena.f
+    for i in range(limit):
+        arena.put(f"victim-{i % 50}", np.full(f, float(i)), float(i))
+        _ack(i)
+
+
+def run_owner_exit() -> None:
+    arena = SharedFactorArena(f=4, initial_capacity=8)
+    arena.put("row", np.ones(4), 1.0)
+    sys.stdout.write(f"NAME {arena.name}\n")
+    sys.stdout.flush()
+    # Fall off the end: no unlink(), no close().  atexit must clean up.
+
+
+def run_torn_writer(name: str, limit: int) -> None:
+    arena = SharedFactorArena.attach(name)
+    f = arena.f
+    for i in range(limit):
+        arena.put("u0", np.full(f, float(i)), float(i))
+        _ack(i)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "mode", choices=("attach-write", "owner-exit", "torn-writer")
+    )
+    parser.add_argument("name", nargs="?")
+    parser.add_argument("--limit", type=int, default=1_000_000)
+    args = parser.parse_args()
+    if args.mode == "attach-write":
+        run_attach_write(args.name, args.limit)
+    elif args.mode == "owner-exit":
+        run_owner_exit()
+    else:
+        run_torn_writer(args.name, args.limit)
+    sys.stdout.write("DONE\n")
+    sys.stdout.flush()
+
+
+if __name__ == "__main__":
+    main()

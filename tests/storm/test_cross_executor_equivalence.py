@@ -1,0 +1,321 @@
+"""Cross-executor equivalence: Local == Threaded == Process.
+
+The substrate's contract is that all three executors honour identical
+grouping semantics.  A purpose-built topology makes the contract exact —
+every piece of state is owned by one fields-grouped key (single writer
+per key), so top-N output, acked-tuple counts, and counter totals are
+fully deterministic under thread interleaving *and* across process
+boundaries.
+
+Three proofs, each over a seeded 10k-action stream:
+
+* clean run — byte-identical top-N, per-component processed counts, and
+  ``counter_totals()`` across all three executors;
+* chaos run — ``wrap_topology`` fault injection crashes the aggregate
+  bolt on a fixed cadence; the supervised restarts land at the same
+  points everywhere, so outputs and restart counts still match exactly;
+* shared-arena SGD — workers in different *processes* write factor
+  vectors through a :class:`SharedModelState`; the learned vectors and
+  predictions must be byte-identical to the single-process run.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.config import MFConfig
+from repro.core import MFModel, SharedModelState
+from repro.obs import Observability
+from repro.reliability import FaultPlan, RetryPolicy, Supervisor, wrap_topology
+from repro.storm import (
+    Bolt,
+    LocalExecutor,
+    ProcessExecutor,
+    Spout,
+    StreamTuple,
+    ThreadedExecutor,
+    TopologyBuilder,
+)
+
+pytestmark = pytest.mark.multiprocess
+
+EXECUTORS = pytest.mark.parametrize(
+    "executor_cls",
+    [LocalExecutor, ThreadedExecutor, ProcessExecutor],
+    ids=["local", "threaded", "process"],
+)
+
+N_ACTIONS = 10_000
+N_KEYS = 23
+TOP_N = 5
+STREAM_SEED = 2016
+
+
+class _SeededActionSpout(Spout):
+    """Deterministic pseudo-random action stream, identical per seed."""
+
+    def __init__(self) -> None:
+        self._rng = random.Random(STREAM_SEED)
+        self._i = 0
+
+    def next_tuple(self) -> StreamTuple | None:
+        if self._i >= N_ACTIONS:
+            return None
+        self._i += 1
+        return StreamTuple(
+            {
+                "k": self._rng.randrange(N_KEYS),
+                "v": self._rng.randrange(1000),
+            }
+        )
+
+
+class _AggregateBolt(Bolt):
+    """Per-key running sum; fields grouping gives one writer per key."""
+
+    def __init__(self, registry) -> None:
+        self._sums: dict[int, int] = {}
+        self._acked = registry.counter(
+            "equiv_acked_total", "tuples acked by the aggregate stage"
+        )
+
+    def process(self, tup, collector):
+        k = tup["k"]
+        self._sums[k] = self._sums.get(k, 0) + tup["v"]
+        self._acked.inc()
+        collector.emit({"k": k, "sum": self._sums[k]})
+
+    def state_snapshot(self) -> dict[int, int]:
+        return dict(self._sums)
+
+
+class _RankBolt(Bolt):
+    """Latest sum per key; per-key FIFO makes 'latest' well-defined."""
+
+    def __init__(self) -> None:
+        self._latest: dict[int, int] = {}
+
+    def process(self, tup, collector):
+        self._latest[tup["k"]] = tup["sum"]
+
+    def state_snapshot(self) -> dict[int, int]:
+        return dict(self._latest)
+
+
+def _merged_state(executor, component: str) -> dict:
+    merged: dict = {}
+    for (name, _worker), state in executor.bolt_states.items():
+        if name == component and state:
+            merged.update(state)
+    return merged
+
+
+def _run(executor_cls, chaos: bool = False):
+    obs = Observability.create()
+    builder = TopologyBuilder()
+    builder.set_spout("spout", _SeededActionSpout)
+    builder.set_bolt(
+        "aggregate", lambda: _AggregateBolt(obs.registry), parallelism=3
+    ).fields_grouping("spout", ["k"])
+    builder.set_bolt("rank", _RankBolt, parallelism=2).fields_grouping(
+        "aggregate", ["k"]
+    )
+    topology = builder.build()
+
+    supervisor = None
+    if chaos:
+        plan = FaultPlan(seed=3, crash_every={"aggregate": 400})
+        topology = wrap_topology(topology, plan, ["aggregate"])
+        supervisor = Supervisor(
+            RetryPolicy(max_restarts=100, backoff_base=0.0)
+        )
+
+    executor = executor_cls(topology, obs=obs, supervisor=supervisor)
+    if executor_cls is LocalExecutor:
+        metrics = executor.run()
+    else:
+        metrics = executor.run(timeout=120)
+
+    latest = _merged_state(executor, "rank")
+    top_n = sorted(latest.items(), key=lambda kv: (-kv[1], kv[0]))[:TOP_N]
+    return {
+        "top_n": top_n,
+        "sums": _merged_state(executor, "aggregate"),
+        "totals": obs.registry.counter_totals(),
+        "snapshot": metrics.snapshot(),
+    }
+
+
+def _expected_sums() -> dict[int, int]:
+    rng = random.Random(STREAM_SEED)
+    sums: dict[int, int] = {}
+    for _ in range(N_ACTIONS):
+        k, v = rng.randrange(N_KEYS), rng.randrange(1000)
+        sums[k] = sums.get(k, 0) + v
+    return sums
+
+
+class TestCleanStream:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return {
+            cls.__name__: _run(cls)
+            for cls in (LocalExecutor, ThreadedExecutor, ProcessExecutor)
+        }
+
+    def test_top_n_identical(self, runs):
+        local, threaded, process = runs.values()
+        assert local["top_n"] == threaded["top_n"] == process["top_n"]
+        expected = _expected_sums()
+        assert local["top_n"] == sorted(
+            expected.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:TOP_N]
+
+    def test_aggregate_state_identical(self, runs):
+        local, threaded, process = runs.values()
+        assert local["sums"] == threaded["sums"] == process["sums"]
+        assert local["sums"] == _expected_sums()
+
+    def test_acked_counts_identical(self, runs):
+        local, threaded, process = runs.values()
+        for run in (local, threaded, process):
+            snap = run["snapshot"]
+            assert snap["aggregate"]["processed"] == N_ACTIONS
+            assert snap["rank"]["processed"] == N_ACTIONS
+            assert snap["aggregate"]["failed"] == 0
+            assert run["totals"]["equiv_acked_total"] == N_ACTIONS
+
+    def test_counter_totals_identical(self, runs):
+        local, threaded, process = runs.values()
+        assert (
+            local["totals"] == threaded["totals"] == process["totals"]
+        )
+        # Pin absolutes so equality can't pass vacuously.
+        assert (
+            local["totals"]["storm_tuples_processed_total{component=aggregate}"]
+            == N_ACTIONS
+        )
+
+
+class TestChaosStream:
+    """Fault injection must not break cross-executor determinism.
+
+    The chaos wrapper crashes the aggregate bolt every 400th tuple per
+    worker; the supervisor restarts it with a fresh instance.  Restart
+    points depend only on per-worker tuple order, which fields grouping
+    fixes, so all three executors crash at the same tuples, restart the
+    same number of times, and produce identical output.
+    """
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return {
+            cls.__name__: _run(cls, chaos=True)
+            for cls in (LocalExecutor, ThreadedExecutor, ProcessExecutor)
+        }
+
+    def test_chaos_outputs_identical(self, runs):
+        local, threaded, process = runs.values()
+        assert local["top_n"] == threaded["top_n"] == process["top_n"]
+        assert local["sums"] == threaded["sums"] == process["sums"]
+        assert local["totals"] == threaded["totals"] == process["totals"]
+
+    def test_restarts_happened_and_agree(self, runs):
+        local, threaded, process = runs.values()
+        restarts = {
+            name: run["snapshot"]["aggregate"]["restarts"]
+            for name, run in runs.items()
+        }
+        assert len(set(restarts.values())) == 1, restarts
+        assert local["snapshot"]["aggregate"]["restarts"] > 0
+
+    def test_no_tuples_lost_under_chaos(self, runs):
+        for run in runs.values():
+            assert run["snapshot"]["rank"]["processed"] == N_ACTIONS
+
+
+# --------------------------------------------------------------------------
+# Shared-arena SGD: real model updates from worker processes.
+# --------------------------------------------------------------------------
+
+SGD_F = 8
+SGD_GROUPS = 4
+SGD_STEPS = 800
+
+
+class _SgdSpout(Spout):
+    """Seeded (group, user, video, rating) actions; groups are disjoint
+    entity universes so fields grouping by ``g`` preserves the
+    single-writer-per-key invariant for users *and* videos."""
+
+    def __init__(self) -> None:
+        self._rng = random.Random(7)
+        self._i = 0
+
+    def next_tuple(self) -> StreamTuple | None:
+        if self._i >= SGD_STEPS:
+            return None
+        self._i += 1
+        g = self._rng.randrange(SGD_GROUPS)
+        return StreamTuple(
+            {
+                "g": g,
+                "u": f"g{g}-u{self._rng.randrange(10)}",
+                "v": f"g{g}-v{self._rng.randrange(20)}",
+                "r": float(self._rng.randrange(2)),
+            }
+        )
+
+
+class _SgdBolt(Bolt):
+    def __init__(self, state: SharedModelState) -> None:
+        self._state = state
+        self._model: MFModel | None = None
+
+    def prepare(self, ctx) -> None:
+        self._model = MFModel(MFConfig(f=SGD_F, seed=11), shared=self._state)
+
+    def process(self, tup, collector):
+        self._model.sgd_step(tup["u"], tup["v"], tup["r"], eta=0.05)
+
+
+def _run_sgd(executor_cls):
+    state = SharedModelState.create(f=SGD_F)
+    try:
+        # Freeze mu up front: the global-mean accumulator is the one
+        # piece of cross-group shared state, so updating it mid-stream
+        # would make results depend on inter-group ordering.
+        state.mu_set(300.0, 600)
+        builder = TopologyBuilder()
+        builder.set_spout("spout", _SgdSpout)
+        builder.set_bolt(
+            "sgd", lambda: _SgdBolt(state), parallelism=SGD_GROUPS
+        ).fields_grouping("spout", ["g"])
+        executor = executor_cls(builder.build())
+        if executor_cls is LocalExecutor:
+            executor.run()
+        else:
+            executor.run(timeout=120)
+
+        model = MFModel(MFConfig(f=SGD_F, seed=11), shared=state)
+        users = sorted(state.user.ids())
+        videos = sorted(state.video.ids())
+        vectors = {u: model.user_vector(u) for u in users}
+        predictions = {
+            u: model.predict_many(u, videos[:10]) for u in users[:5]
+        }
+        return vectors, predictions
+    finally:
+        state.unlink()
+
+
+class TestSharedArenaSgd:
+    def test_process_sgd_matches_local_byte_for_byte(self):
+        local_vecs, local_preds = _run_sgd(LocalExecutor)
+        proc_vecs, proc_preds = _run_sgd(ProcessExecutor)
+        assert sorted(local_vecs) == sorted(proc_vecs)
+        for u in local_vecs:
+            assert np.array_equal(local_vecs[u], proc_vecs[u]), u
+        for u in local_preds:
+            assert np.array_equal(local_preds[u], proc_preds[u]), u

@@ -1,0 +1,215 @@
+"""Unit tests for :class:`ProcessExecutor`.
+
+Mechanics only — the cross-executor contract lives in
+``test_cross_executor_equivalence.py``.  Everything here runs real child
+processes, so the module is marked ``multiprocess``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import ComponentError
+from repro.reliability import RetryPolicy, Supervisor
+from repro.storm import (
+    Bolt,
+    Collector,
+    ProcessExecutor,
+    Spout,
+    StreamTuple,
+    TopologyBuilder,
+)
+
+pytestmark = pytest.mark.multiprocess
+
+
+class _CountSpout(Spout):
+    def __init__(self, n: int = 20) -> None:
+        self._n = n
+        self._i = 0
+
+    def next_tuple(self) -> StreamTuple | None:
+        if self._i >= self._n:
+            return None
+        tup = StreamTuple({"k": self._i % 3, "v": self._i})
+        self._i += 1
+        return tup
+
+
+class _SumBolt(Bolt):
+    def __init__(self) -> None:
+        self._sums: dict[int, int] = {}
+
+    def process(self, tup: StreamTuple, collector: Collector) -> None:
+        k = tup["k"]
+        self._sums[k] = self._sums.get(k, 0) + tup["v"]
+        collector.emit({"k": k, "sum": self._sums[k]})
+
+    def state_snapshot(self) -> dict[int, int]:
+        return dict(self._sums)
+
+
+class _SinkBolt(Bolt):
+    def __init__(self) -> None:
+        self._latest: dict[int, int] = {}
+
+    def process(self, tup: StreamTuple, collector: Collector) -> None:
+        self._latest[tup["k"]] = tup["sum"]
+
+    def state_snapshot(self) -> dict[int, int]:
+        return dict(self._latest)
+
+
+class _BatchBolt(Bolt):
+    """Buffers everything; emits only on end-of-stream flush."""
+
+    def __init__(self) -> None:
+        self._buffer: list[int] = []
+
+    def process(self, tup: StreamTuple, collector: Collector) -> None:
+        self._buffer.append(tup["v"])
+
+    def flush(self, collector: Collector) -> None:
+        if self._buffer:
+            collector.emit({"k": 0, "sum": sum(self._buffer)})
+            self._buffer.clear()
+
+
+class _FailingBolt(Bolt):
+    def process(self, tup: StreamTuple, collector: Collector) -> None:
+        if tup["v"] == 7:
+            raise RuntimeError("boom at seven")
+        collector.emit({"k": tup["k"], "sum": tup["v"]})
+
+
+def _topology(bolt_factory=_SumBolt, parallelism=2):
+    builder = TopologyBuilder()
+    builder.set_spout("spout", _CountSpout)
+    builder.set_bolt(
+        "work", bolt_factory, parallelism=parallelism
+    ).fields_grouping("spout", ["k"])
+    builder.set_bolt("sink", _SinkBolt, parallelism=2).fields_grouping(
+        "work", ["k"]
+    )
+    return builder.build()
+
+
+def test_stream_tuple_pickles_without_trace():
+    tup = StreamTuple({"a": 1, "b": "x"}, stream="s").with_trace(object())
+    clone = pickle.loads(pickle.dumps(tup))
+    assert clone == tup
+    assert clone.stream == "s"
+    assert clone.trace is None  # trace metadata is process-local
+
+
+def test_processes_all_tuples_and_merges_metrics():
+    executor = ProcessExecutor(_topology())
+    metrics = executor.run(timeout=60)
+    snap = metrics.snapshot()
+    assert snap["spout"]["emitted"] == 20
+    assert snap["work"]["processed"] == 20
+    assert snap["work"]["emitted"] == 20
+    assert snap["sink"]["processed"] == 20
+    assert snap["work"]["failed"] == 0
+
+
+def test_bolt_states_come_home():
+    executor = ProcessExecutor(_topology())
+    executor.run(timeout=60)
+    work_states = {
+        worker: state
+        for (name, worker), state in executor.bolt_states.items()
+        if name == "work"
+    }
+    merged: dict[int, int] = {}
+    for state in work_states.values():
+        merged.update(state)
+    expected: dict[int, int] = {}
+    for i in range(20):
+        expected[i % 3] = expected.get(i % 3, 0) + i
+    assert merged == expected
+    # Per-key state must live in exactly one worker (single writer).
+    for k in expected:
+        owners = [w for w, state in work_states.items() if k in state]
+        assert len(owners) == 1
+
+
+def test_max_tuples_limits_source_consumption():
+    executor = ProcessExecutor(_topology())
+    metrics = executor.run(max_tuples=5, timeout=60)
+    assert metrics.snapshot()["work"]["processed"] == 5
+
+
+def test_flush_runs_in_declaration_order_across_processes():
+    builder = TopologyBuilder()
+    builder.set_spout("spout", _CountSpout)
+    builder.set_bolt("batch", _BatchBolt, parallelism=1).fields_grouping(
+        "spout", ["k"]
+    )
+    builder.set_bolt("sink", _SinkBolt, parallelism=1).fields_grouping(
+        "batch", ["k"]
+    )
+    executor = ProcessExecutor(builder.build())
+    executor.run(timeout=60)
+    # The batch bolt's flush emission must have reached the sink before
+    # the sink's own shutdown snapshot was taken.
+    assert executor.bolt_states[("sink", 0)] == {0: sum(range(20))}
+
+
+def test_fail_fast_raises_component_error():
+    builder = TopologyBuilder()
+    builder.set_spout("spout", _CountSpout)
+    builder.set_bolt("work", _FailingBolt, parallelism=2).fields_grouping(
+        "spout", ["k"]
+    )
+    executor = ProcessExecutor(builder.build(), fail_fast=True)
+    with pytest.raises(ComponentError) as excinfo:
+        executor.run(timeout=60)
+    assert excinfo.value.component == "work"
+    assert "boom at seven" in str(excinfo.value)
+
+
+def test_fail_fast_false_drops_and_continues():
+    builder = TopologyBuilder()
+    builder.set_spout("spout", _CountSpout)
+    builder.set_bolt("work", _FailingBolt, parallelism=2).fields_grouping(
+        "spout", ["k"]
+    )
+    builder.set_bolt("sink", _SinkBolt, parallelism=1).fields_grouping(
+        "work", ["k"]
+    )
+    executor = ProcessExecutor(builder.build(), fail_fast=False)
+    metrics = executor.run(timeout=60)
+    snap = metrics.snapshot()
+    assert snap["work"]["failed"] == 1
+    assert snap["sink"]["processed"] == 19  # all but the poisoned tuple
+
+
+def test_supervisor_restarts_worker_in_child_process():
+    crashes = _topology(bolt_factory=_FailingBolt, parallelism=1)
+    supervisor = Supervisor(RetryPolicy(max_restarts=3, backoff_base=0.0))
+    executor = ProcessExecutor(crashes, supervisor=supervisor, fail_fast=False)
+    metrics = executor.run(timeout=60)
+    snap = metrics.snapshot()
+    # The poisoned tuple crashes every fresh instance, so the budget
+    # drains and the tuple is dropped; the restarts happened inside the
+    # worker process and must surface in the merged metrics.
+    assert snap["work"]["restarts"] == 3
+    assert snap["sink"]["processed"] == 19
+
+
+def test_supervisor_budget_exhaustion_fails_fast():
+    crashes = _topology(bolt_factory=_FailingBolt, parallelism=1)
+    supervisor = Supervisor(RetryPolicy(max_restarts=2, backoff_base=0.0))
+    executor = ProcessExecutor(crashes, supervisor=supervisor, fail_fast=True)
+    with pytest.raises(ComponentError):
+        executor.run(timeout=60)
+
+
+def test_per_worker_processed_attribution():
+    executor = ProcessExecutor(_topology(parallelism=3))
+    executor.run(timeout=60)
+    per_worker = executor.metrics.component("work").per_worker_processed
+    assert sum(per_worker.values()) == 20
+    # Fields grouping: only workers that own keys processed anything.
+    assert all(count > 0 for count in per_worker.values())

@@ -1,0 +1,167 @@
+"""Shared-memory lifecycle under process death.
+
+POSIX shared memory outlives processes, so leaks are the default failure
+mode: a worker that dies without cleanup would strand ``/dev/shm``
+segments until reboot.  The arena's answer is (a) only the *owner*
+unlinks, via a finalizer doubled with atexit, and (b) the cross-process
+lock is an flock the kernel releases on process death — so a SIGKILLed
+worker can never leave the arena wedged or leaking.
+
+These tests kill real subprocesses (no signal handlers, no cleanup) at
+awkward moments and assert both properties, using the ACK-on-stdout
+victim harness pattern from the crash-injection suite.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import SharedFactorArena
+
+pytestmark = [pytest.mark.multiprocess, pytest.mark.slow]
+
+CHILD = Path(__file__).parent / "_shm_child.py"
+
+
+def _shm_entries() -> set[str]:
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        pytest.skip("/dev/shm not available")
+    return {name for name in os.listdir("/dev/shm") if "repro-" in name}
+
+
+def _spawn(*args: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, str(CHILD), *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+def _read_acks(proc: subprocess.Popen, at_least: int, timeout: float = 30.0):
+    """Read stdout lines until ``at_least`` ACKs arrive; return them."""
+    acks = []
+    deadline = time.monotonic() + timeout
+    while len(acks) < at_least:
+        if time.monotonic() > deadline:  # pragma: no cover - debug aid
+            raise TimeoutError(f"only {len(acks)} acks before timeout")
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"child exited early: {proc.stderr.read()}"
+            )
+        if line.startswith("ACK "):
+            acks.append(int(line.split()[1]))
+    return acks
+
+
+class TestSigkilledWorker:
+    def test_arena_survives_sigkilled_writer(self):
+        """SIGKILL a worker mid-write: no leak, no deadlock, no damage."""
+        before = _shm_entries()
+        arena = SharedFactorArena(f=4, initial_capacity=8)
+        try:
+            proc = _spawn("attach-write", arena.name)
+            try:
+                acks = _read_acks(proc, at_least=20)
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=10)
+            finally:
+                if proc.poll() is None:  # pragma: no cover - safety net
+                    proc.kill()
+                    proc.wait(timeout=10)
+
+            # The kernel dropped the victim's flock with it: every lock
+            # path must still go through without blocking.
+            arena.put("after-kill", np.full(4, 9.0), 9.0)
+            assert np.array_equal(arena.vector("after-kill"), np.full(4, 9.0))
+            # Every acked write is visible and well-formed.
+            last = max(acks)
+            row = arena.vector(f"victim-{last % 50}")
+            assert row is not None
+            snap = arena.snapshot()
+            assert len(snap) == len(arena)
+        finally:
+            arena.unlink()
+        # The victim attached (never owned), so its death plus the
+        # owner's unlink must leave /dev/shm exactly as it started.
+        assert _shm_entries() == before
+
+    def test_sigkill_during_growth_pressure(self):
+        """Kill while the victim is forcing growth generations."""
+        before = _shm_entries()
+        arena = SharedFactorArena(f=4, initial_capacity=1, ids_capacity=64)
+        try:
+            proc = _spawn("attach-write", arena.name)
+            try:
+                _read_acks(proc, at_least=5)
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=10)
+            finally:
+                if proc.poll() is None:  # pragma: no cover - safety net
+                    proc.kill()
+                    proc.wait(timeout=10)
+            # Stale generations must have been unlinked as they were
+            # superseded; whatever the victim created, only the live
+            # ctl + data + ids + lock entries remain after unlink.
+            for i in range(40):
+                arena.put(f"post-{i}", np.zeros(4), 0.0)
+        finally:
+            arena.unlink()
+        assert _shm_entries() == before
+
+
+class TestOwnerExit:
+    def test_owner_atexit_reaps_segments(self):
+        """An owner that exits without unlink() must still clean up."""
+        before = _shm_entries()
+        proc = _spawn("owner-exit")
+        out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, err
+        name_lines = [l for l in out.splitlines() if l.startswith("NAME ")]
+        assert name_lines, out
+        name = name_lines[0].split()[1]
+        assert _shm_entries() == before
+        with pytest.raises(FileNotFoundError):
+            SharedFactorArena.attach(name)
+
+
+class TestTornWrites:
+    def test_snapshots_never_observe_torn_rows(self):
+        """Concurrent snapshots see each row fully-written or not at all.
+
+        The victim rewrites one row with ``full(f, i)``/bias ``i`` per
+        iteration; row writes happen under the arena lock, so a snapshot
+        taken at any moment must observe a uniform vector whose value
+        matches its bias.
+        """
+        arena = SharedFactorArena(f=16, initial_capacity=8)
+        try:
+            proc = _spawn("torn-writer", arena.name)
+            try:
+                _read_acks(proc, at_least=1)
+                checked = 0
+                for _ in range(200):
+                    snap = arena.snapshot()
+                    vec = snap.vector("u0")
+                    if vec is None:
+                        continue
+                    assert vec.min() == vec.max(), vec
+                    assert snap.bias("u0") == vec[0]
+                    checked += 1
+                assert checked > 0
+            finally:
+                proc.kill()
+                proc.wait(timeout=10)
+        finally:
+            arena.unlink()
