@@ -1,0 +1,203 @@
+"""ANN retrieval — sublinear candidate retrieval vs brute-force MIPS.
+
+The paper's serving path is linear in the candidate pool; DESIGN.md's
+"Candidate retrieval index" replaces it with LSH-bucketed two-stage
+retrieval (shortlist -> exact re-rank).  This benchmark sweeps catalog
+size on a clustered synthetic factor catalog (learned factors are
+clustered and anisotropic, which is what makes LSH work at all) and pins
+the contract:
+
+* recall@100 against the exact brute-force oracle >= 0.95 at every size,
+* brute-force latency grows ~linearly while the ANN path stays near-flat
+  (its cost tracks the shortlist target, not the catalog),
+* at the largest size the ANN path is >= 5x faster than brute force
+  (full run) / faster than brute force (CI smoke run),
+* demographic partition pruning probes strictly fewer buckets.
+
+Emits ``BENCH_ann_retrieval.json`` for the perf-regression harness.
+"""
+
+import time
+
+import numpy as np
+
+from repro.config import RetrievalConfig
+from repro.core import AnnIndex, top_n_by_score
+from repro.data import Video
+from repro.eval import retrieval_recall
+from repro.obs import Observability
+
+from _emit import bench_smoke, emit_bench
+from _helpers import format_rows, report
+
+F = 32
+TOP_N = 100
+SIZES = [20_000, 300_000] if bench_smoke() else [10_000, 100_000, 1_000_000]
+N_QUERIES = 20 if bench_smoke() else 30
+KINDS = ("music", "news", "sport", "film", "kids")
+
+_results: list[dict] = []
+
+
+def _catalog(n, seed=7):
+    """Clustered factor catalog: C centers, tight per-cluster noise."""
+    rng = np.random.default_rng(seed)
+    n_centers = max(64, n // 100)
+    centers = rng.standard_normal((n_centers, F)) * 0.25
+    assign = rng.integers(0, n_centers, size=n)
+    vectors = centers[assign] + rng.standard_normal((n, F)) * 0.06
+    biases = rng.standard_normal(n) * 0.05
+    ids = [f"v{i:07d}" for i in range(n)]
+    return ids, vectors, biases, centers
+
+
+def _queries(centers, rng):
+    picks = centers[rng.integers(0, len(centers), N_QUERIES)]
+    return picks + rng.standard_normal((N_QUERIES, F)) * 0.08
+
+
+def test_ann_vs_brute_sweep():
+    for n in SIZES:
+        ids, vectors, biases, centers = _catalog(n)
+        index = AnnIndex(F, expected_videos=n)
+        started = time.perf_counter()
+        build = index.bulk_load(ids, vectors, biases)
+        build_seconds = time.perf_counter() - started
+
+        rng = np.random.default_rng(123)
+        recalls, ann_times, brute_times, shortlists = [], [], [], []
+        for x in _queries(centers, rng):
+            t0 = time.perf_counter()
+            scores = vectors @ x + biases
+            exact = top_n_by_score(ids, scores, TOP_N)
+            brute_times.append(time.perf_counter() - t0)
+
+            # Two-stage path over the row-aligned factor matrix: ANN
+            # shortlist rows, exact re-rank, ids only for the winners.
+            t0 = time.perf_counter()
+            rows = index.query_user_rows(x, TOP_N)
+            sub_scores = vectors[rows] @ x + biases[rows]
+            top = top_n_by_score(rows.tolist(), sub_scores, TOP_N)
+            approx_ids = index.ids_for_rows([row for row, _ in top])
+            ann_times.append(time.perf_counter() - t0)
+
+            shortlists.append(len(rows))
+            recalls.append(
+                retrieval_recall(
+                    approx_ids, [vid for vid, _ in exact], TOP_N
+                )
+            )
+
+        occupancy = index.bucket_occupancy()
+        _results.append(
+            {
+                "n": n,
+                "band_bits": build["band_bits"],
+                "build_s": round(build_seconds, 2),
+                "recall_at_100": round(float(np.mean(recalls)), 4),
+                "shortlist_mean": round(float(np.mean(shortlists)), 1),
+                "brute_p50_ms": round(
+                    float(np.median(brute_times)) * 1e3, 3
+                ),
+                "ann_p50_ms": round(float(np.median(ann_times)) * 1e3, 3),
+                "bucket_p90": occupancy["p90"],
+            }
+        )
+
+    report("ann_retrieval", format_rows(_results))
+
+    # -- recall gate: every size ------------------------------------------
+    for row in _results:
+        assert row["recall_at_100"] >= 0.95, (
+            f"recall@100 {row['recall_at_100']} < 0.95 at n={row['n']}"
+        )
+
+    # -- latency gates at the largest size --------------------------------
+    largest = _results[-1]
+    speedup = largest["brute_p50_ms"] / max(largest["ann_p50_ms"], 1e-9)
+    if bench_smoke():
+        assert speedup > 1.0, (
+            f"ANN not faster than brute at n={largest['n']}: {speedup:.2f}x"
+        )
+    else:
+        assert speedup >= 5.0, (
+            f"ANN speedup {speedup:.2f}x < 5x at n={largest['n']}"
+        )
+
+    # -- scaling shape: brute ~linear, ANN sublinear ----------------------
+    smallest = _results[0]
+    size_ratio = largest["n"] / smallest["n"]
+    brute_ratio = largest["brute_p50_ms"] / max(
+        smallest["brute_p50_ms"], 1e-9
+    )
+    ann_ratio = largest["ann_p50_ms"] / max(smallest["ann_p50_ms"], 1e-9)
+    assert brute_ratio > size_ratio / 4, (
+        f"brute force unexpectedly sublinear: {brute_ratio:.1f}x over a "
+        f"{size_ratio:.0f}x catalog"
+    )
+    assert ann_ratio < size_ratio / 4, (
+        f"ANN latency not sublinear: {ann_ratio:.1f}x over a "
+        f"{size_ratio:.0f}x catalog"
+    )
+
+    # -- partition pruning probes fewer buckets ---------------------------
+    n = SIZES[0]
+    ids, vectors, biases, centers = _catalog(n)
+    videos = {
+        vid: Video(vid, KINDS[i % len(KINDS)], duration=100.0)
+        for i, vid in enumerate(ids)
+    }
+    obs = Observability.create()
+    index = AnnIndex(F, videos=videos, obs=obs, expected_videos=n)
+    index.bulk_load(ids, vectors, biases)
+    probes = obs.registry.get("ann_probes_total")
+    query = _queries(centers, np.random.default_rng(5))[0]
+
+    before = probes.value
+    unpruned = index.query_user(query, TOP_N)
+    unpruned_probes = probes.value - before
+
+    before = probes.value
+    pruned = index.query_user(
+        query, TOP_N, allowed_partitions=[KINDS[0]]
+    )
+    pruned_probes = probes.value - before
+
+    assert pruned_probes < unpruned_probes
+    assert all(videos[vid].kind == KINDS[0] for vid in pruned)
+    probe_ratio = pruned_probes / max(unpruned_probes, 1)
+
+    emit_bench(
+        "ann_retrieval",
+        metrics={
+            **{
+                f"recall_at_100_n{row['n']}": row["recall_at_100"]
+                for row in _results
+            },
+            **{
+                f"brute_p50_ms_n{row['n']}": row["brute_p50_ms"]
+                for row in _results
+            },
+            **{
+                f"ann_p50_ms_n{row['n']}": row["ann_p50_ms"]
+                for row in _results
+            },
+            **{
+                f"build_seconds_n{row['n']}": row["build_s"]
+                for row in _results
+            },
+            **{
+                f"shortlist_mean_n{row['n']}": row["shortlist_mean"]
+                for row in _results
+            },
+            "speedup_largest": round(speedup, 2),
+            "pruned_probe_ratio": round(probe_ratio, 3),
+        },
+        params={
+            "f": F,
+            "top_n": TOP_N,
+            "n_queries": N_QUERIES,
+            "oversample": RetrievalConfig().oversample,
+            "tables": RetrievalConfig().tables,
+        },
+    )

@@ -52,7 +52,9 @@ class CandidateSelector:
         excluded = set(exclude or ())
         excluded.update(seeds)
         best: dict[str, Candidate] = {}
-        used = seeds[: cfg.max_seeds]
+        # Dedup before the cap: a video repeated in the user's history must
+        # neither waste a seed slot nor be fetched twice from the store.
+        used = list(dict.fromkeys(seeds))[: cfg.max_seeds]
         for seed, ranked_list in zip(
             used, self.table.neighbors_many(used, now=now)
         ):

@@ -145,6 +145,28 @@ class DemographicRecommender:
                         break
         return picks[:k]
 
+    def recommend_filtered(
+        self,
+        user_id: str,
+        k: int = 10,
+        blocked: set[str] | frozenset[str] = frozenset(),
+        now: float | None = None,
+    ) -> list[str]:
+        """Hot videos for the user's group with ``blocked`` ids suppressed.
+
+        One centralised definition of the paper's demographic filter so
+        every caller (the recommender's merge stage, the two-stage ANN
+        path) shares identical semantics, pinned by test: blocked videos
+        still *consume ranking budget* — the list is ranked and truncated
+        to ``k`` first, then blocked entries are dropped without top-up —
+        exactly as if :meth:`recommend`'s output were post-filtered.
+        """
+        return [
+            vid
+            for vid in self.recommend(user_id, k, now=now)
+            if vid not in blocked
+        ]
+
 
 def merge_recommendations(
     primary: list[str],

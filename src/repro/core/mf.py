@@ -751,6 +751,16 @@ class MFModel:
         """Ids of all videos with a learned vector."""
         return self._params.ids("video")
 
+    def video_rows(self) -> tuple[list[str], np.ndarray, np.ndarray]:
+        """Row-aligned ``(ids, vectors, biases)`` of every learned video.
+
+        Ids are sorted, so the row order is deterministic across backends
+        and across checkpoint restore — the ANN index build path
+        (:meth:`repro.core.AnnIndex.build_from_model`) relies on this to
+        make a rebuilt index comparable to the original.
+        """
+        return self._params.export("video")
+
     # ------------------------------------------------------------------
     # Prediction (Eq. 2) and error (Eq. 4)
     # ------------------------------------------------------------------

@@ -36,6 +36,7 @@ from ..storm.metrics import LatencyStats
 if TYPE_CHECKING:
     from ..obs import Observability
 from .actions import ActionWeigher, LogPlaytimeWeigher
+from .annindex import AnnIndex
 from .candidates import CandidateSelector
 from .demographic import DemographicRecommender, merge_recommendations
 from .history import UserHistoryStore
@@ -116,6 +117,20 @@ class RealtimeRecommender:
             store=backing,
         )
         self.selector = CandidateSelector(self.table, self.config.recommend)
+        # Two-stage retrieval (DESIGN.md "Candidate retrieval index"): in
+        # "ann"/"hybrid" mode an LSH index over the learned video factors
+        # produces the shortlist the exact Eq. 2 re-rank scores.  "table"
+        # mode (default) is the paper's original path and the correctness
+        # oracle.
+        self.index: AnnIndex | None = None
+        if self.config.retrieval.mode != "table":
+            self.index = AnnIndex(
+                self.config.mf.f,
+                videos=videos,
+                config=self.config.retrieval,
+                obs=obs,
+                expected_videos=len(videos) or None,
+            )
         self.demographic: DemographicRecommender | None = None
         if enable_demographic:
             self.demographic = DemographicRecommender(
@@ -136,7 +151,12 @@ class RealtimeRecommender:
         then is the video pushed onto the history (so it does not pair with
         itself).
         """
-        self.trainer.process(action)
+        update = self.trainer.process(action)
+        if update is not None and self.index is not None:
+            # Incremental index maintenance: the index re-hashes the video
+            # only every check_every-th upsert (signature drift, not every
+            # SGD step) — see AnnIndex.upsert.
+            self.index.upsert(action.video_id, update.y_i, update.b_i)
         if action.action in ENGAGEMENT_ACTIONS:
             recent = self.history.recent(
                 action.user_id, self.config.similarity.candidate_pool
@@ -161,6 +181,27 @@ class RealtimeRecommender:
             action, self.videos.get(action.video_id)
         ) if self.trainer.is_playtime_capable(action) else 1.0
         self.demographic.record(action, weight=weight)
+        if self.index is not None:
+            # Group -> partition affinity for index pruning; in-memory
+            # derived state, rebuilt by the same WAL replay as the hot
+            # lists.
+            self.index.observe_group(
+                self.demographic.group_for(action.user_id), action.video_id
+            )
+
+    def rebuild_index(self) -> dict | None:
+        """(Re)build the ANN index from the model's current factors.
+
+        The recovery hook for the retrieval index: after a checkpoint
+        restore the KV-backed factor arena is authoritative and the index
+        is rebuilt from it (`AnnIndex.build_from_model`), serving the same
+        shortlists as the pre-crash index.  Returns the build report (cost
+        included), or ``None`` when no index is configured.
+        """
+        if self.index is None:
+            return None
+        with self._span("ann.rebuild"):
+            return self.index.build_from_model(self.model)
 
     def observe_stream(self, actions) -> int:
         """Observe a whole (time-ordered) stream; return the action count."""
@@ -209,6 +250,52 @@ class RealtimeRecommender:
             return self._tracer.span(name)
         return nullcontext()
 
+    def _ann_shortlist(
+        self,
+        user_id: str,
+        seeds: list[str],
+        exclude: set[str],
+        top_n: int,
+    ) -> list[str]:
+        """Stage-1 ANN shortlist for one request (id-sorted).
+
+        Warm users are one MIPS query with their own vector.  Cold users
+        (no learned ``x_u``) fall back to item-to-item queries around the
+        seed videos; the seed vectors are fetched through a *single*
+        deduplicated batch read rather than one fetch per seed.
+        """
+        index = self.index
+        assert index is not None
+        blocked = exclude | set(seeds)
+        allowed = None
+        if (
+            self.config.retrieval.partition_pruning
+            and self.demographic is not None
+        ):
+            allowed = index.allowed_partitions(
+                self.demographic.group_for(user_id)
+            )
+        x_u = self.model.user_vector(user_id)
+        if x_u is not None:
+            return index.query_user(
+                x_u, top_n, exclude=blocked, allowed_partitions=allowed
+            )
+        unique_seeds = list(dict.fromkeys(seeds))
+        if not unique_seeds:
+            return []
+        shortlist: list[str] = []
+        seen: set[str] = set()
+        for vec in self.model.video_vectors_many(unique_seeds):
+            if vec is None:
+                continue
+            for vid in index.query_item(
+                vec, top_n, exclude=blocked, allowed_partitions=allowed
+            ):
+                if vid not in seen:
+                    seen.add(vid)
+                    shortlist.append(vid)
+        return shortlist
+
     def _recommend(
         self,
         user_id: str,
@@ -234,13 +321,27 @@ class RealtimeRecommender:
             exclude: set[str] = set()
             if self.config.recommend.exclude_watched:
                 exclude = set(snapshot.watched)
-            candidates = self.selector.select(
-                seeds, exclude=exclude, now=timestamp
+            mode = self.config.retrieval.mode
+            candidates = (
+                []
+                if mode == "ann"
+                else self.selector.select(seeds, exclude=exclude, now=timestamp)
+            )
+
+        video_ids = [c.video_id for c in candidates]
+        if self.index is not None:
+            # Stage 1 of the two-stage path: the ANN shortlist ("ann"
+            # replaces the table expansion, "hybrid" unions with it); the
+            # exact predict_many below is stage 2.
+            with self._span("ann.query"):
+                shortlist = self._ann_shortlist(user_id, seeds, exclude, top_n)
+            present = set(video_ids)
+            video_ids.extend(
+                vid for vid in shortlist if vid not in present
             )
 
         ranked: list[Recommendation] = []
-        if candidates:
-            video_ids = [c.video_id for c in candidates]
+        if video_ids:
             with self._span("mf.predict"):
                 scores = self.model.predict_many(user_id, video_ids)
             order = sorted(
@@ -254,13 +355,12 @@ class RealtimeRecommender:
 
         final_ids = [r.video_id for r in ranked]
         if self.demographic is not None:
-            db_list = [
-                vid
-                for vid in self.demographic.recommend(
-                    user_id, top_n, now=timestamp
-                )
-                if vid not in exclude and vid not in seeds
-            ]
+            db_list = self.demographic.recommend_filtered(
+                user_id,
+                top_n,
+                blocked=exclude | set(seeds),
+                now=timestamp,
+            )
             # Cold/inactive users with no MF candidates fall back entirely
             # to the demographic hot list; otherwise merge a fraction.
             if not final_ids:

@@ -660,6 +660,29 @@ class SharedFactorArena:
                 self._has_vec[:n].astype(bool),
             )
 
+    def dense_rows(
+        self,
+    ) -> tuple[list[str], np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy ``(ids, vectors, biases, has_vector)`` row views.
+
+        The shared-memory analogue of :meth:`FactorArena.dense_rows`: the
+        vector/bias arrays are views straight into the mapped segment (no
+        copy).  Taken under the shared lock with a generation refresh, so
+        the views target the current segment; a concurrent grower bumps
+        the generation and leaves these views pointing at the old (still
+        complete) segment.  ``has_vector`` is a small bool copy.  Use for
+        bulk read paths that tolerate torn single rows (index builds), not
+        for checkpoints.
+        """
+        with self._shared():
+            n = int(self._slots[_N_INTERNED])
+            return (
+                list(self._ids[:n]),
+                self._vecs[:n],
+                self._biases[:n],
+                self._has_vec[:n].astype(bool),
+            )
+
     def items(self) -> Iterator[tuple[str, np.ndarray, float]]:
         ids, vecs, biases, has_vec = self.export_rows()
         for row, entity_id in enumerate(ids):

@@ -240,10 +240,16 @@ class SimilarVideoTable:
         Returns one ranked list per seed, in input order — the candidate
         selector's path, where a request's seeds become one ``mget``
         (one call per shard on a sharded store) instead of a get per seed.
+        Duplicate seeds (a video appearing twice in a user's recent
+        history) are fetched — and ranked — once, then fanned back out.
         """
         current = self.clock.now() if now is None else now
-        maps = self._table.mget(list(video_ids))
-        return [self._rank(entries or {}, k, current) for entries in maps]
+        unique = list(dict.fromkeys(video_ids))
+        ranked = {
+            vid: self._rank(entries or {}, k, current)
+            for vid, entries in zip(unique, self._table.mget(unique))
+        }
+        return [ranked[vid] for vid in video_ids]
 
     def _rank(
         self,

@@ -16,6 +16,7 @@ from .metrics import (
     percentile_rank,
     precision_at_n,
     recall_at_n,
+    retrieval_recall,
     recall_curve,
 )
 from .protocol import (
@@ -27,6 +28,7 @@ from .protocol import (
 
 __all__ = [
     "recall_at_n",
+    "retrieval_recall",
     "recall_curve",
     "average_rank",
     "percentile_rank",

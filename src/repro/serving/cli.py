@@ -31,6 +31,7 @@ from ..clock import SystemClock
 from ..core import RealtimeRecommender
 from ..data import SyntheticWorld
 from ..data.synthetic import paper_world_config
+from ..config import ReproConfig, RetrievalConfig
 from ..kvstore import FSYNC_POLICIES, DurableKVStore, ReadThroughCache
 from ..obs import Observability
 from ..reliability import ActionWAL, CheckpointManager, RecoveryManager
@@ -50,6 +51,7 @@ def build_demo_gateway(
     seed: int = 2016,
     data_dir: str | Path | None = None,
     fsync: str = "interval",
+    retrieval: str = "table",
 ) -> ServingGateway:
     """A fully-wired gateway over a freshly trained synthetic recommender.
 
@@ -78,6 +80,7 @@ def build_demo_gateway(
     recommender = RealtimeRecommender(
         world.videos,
         users=world.users,
+        config=ReproConfig(retrieval=RetrievalConfig(mode=retrieval)),
         clock=SystemClock(),
         obs=obs,
         store=store,
@@ -118,6 +121,17 @@ def build_demo_gateway(
             fallback.observe(action)
         if recovery is not None and store is not None:
             recovery.checkpoint(store, incremental=True)
+    # Seal the boot path for index-backed retrieval: whether the factors
+    # came from training or checkpoint+WAL recovery, the ANN index is
+    # rebuilt from the arena so it serves the exact same catalog.
+    report = recommender.rebuild_index()
+    if report is not None:
+        print(
+            f"ann index built: {report['indexed']} videos, "
+            f"{report['tables']}x{report['band_bits']} bits "
+            f"in {report['build_seconds'] * 1e3:.0f}ms",
+            flush=True,
+        )
     admission = (
         AdmissionController(
             rate=rate,
@@ -208,6 +222,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default="interval",
         help="durability policy for --data-dir writes",
     )
+    parser.add_argument(
+        "--retrieval",
+        choices=("table", "ann", "hybrid"),
+        default="table",
+        help="candidate retrieval: similar-video tables (the paper), "
+        "LSH ANN shortlist, or the union of both",
+    )
     return parser
 
 
@@ -235,6 +256,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         data_dir=args.data_dir,
         fsync=args.fsync,
+        retrieval=args.retrieval,
     )
 
     async def serve() -> None:

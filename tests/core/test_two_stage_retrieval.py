@@ -1,0 +1,253 @@
+"""Equivalence suite for two-stage (ANN shortlist -> exact re-rank)
+retrieval: saturated-index equality with exhaustive re-ranking, demographic
+post-filter semantics, batched seed fetches, and router integration."""
+
+import numpy as np
+import pytest
+
+from repro.clock import VirtualClock
+from repro.config import MFConfig, ReproConfig, RetrievalConfig
+from repro.core import DemographicRecommender, RealtimeRecommender
+from repro.data import ActionType, UserAction
+from repro.kvstore import InMemoryKVStore
+from repro.obs import Observability
+from repro.serving import RecRequest, RequestRouter
+
+
+def _config(mode, **knobs):
+    # Saturating shortlist: with min_shortlist far above the catalog the
+    # ANN stage returns every indexed video, so stage 2 must reproduce the
+    # exhaustive re-rank exactly — any divergence is a retrieval bug.
+    return ReproConfig(
+        retrieval=RetrievalConfig(
+            mode=mode,
+            min_shortlist=100_000,
+            shortlist_cap=200_000,
+            **knobs,
+        )
+    )
+
+
+def _trained(small_world, small_split, mode, **kwargs):
+    rec = RealtimeRecommender(
+        small_world.videos,
+        users=small_world.users,
+        config=_config(mode),
+        clock=VirtualClock(0.0),
+        **kwargs,
+    )
+    rec.observe_stream(small_split.train)
+    rec.clock.set(max(a.timestamp for a in small_split.train) + 1)
+    if rec.index is not None:
+        rec.rebuild_index()
+    return rec
+
+
+def _warm_users(rec, limit=5):
+    users = [
+        u for u in sorted(rec.users) if rec.model.user_vector(u) is not None
+    ]
+    assert users, "expected trained users"
+    return users[:limit]
+
+
+class TestSaturatedEquivalence:
+    def test_ann_matches_exhaustive_rerank(self, small_world, small_split):
+        rec = _trained(
+            small_world, small_split, "ann", enable_demographic=False
+        )
+        catalog = rec.model.known_videos()
+        for user in _warm_users(rec):
+            got = rec.recommend_ids(user, current_video="v5", n=10)
+            pool = [vid for vid in catalog if vid != "v5"]
+            scores = rec.model.predict_many(user, pool)
+            order = sorted(
+                range(len(pool)), key=lambda i: (-scores[i], pool[i])
+            )
+            expected = [pool[i] for i in order[:10]]
+            assert got == expected
+
+    def test_hybrid_matches_ann_when_saturated(
+        self, small_world, small_split
+    ):
+        ann = _trained(
+            small_world, small_split, "ann", enable_demographic=False
+        )
+        hybrid = _trained(
+            small_world, small_split, "hybrid", enable_demographic=False
+        )
+        for user in _warm_users(ann):
+            assert ann.recommend_ids(
+                user, current_video="v3", n=10
+            ) == hybrid.recommend_ids(user, current_video="v3", n=10)
+
+    def test_ann_mode_with_demographic_merge(self, small_world, small_split):
+        """The merged output only draws demographic picks from the
+        post-filter-equivalent list (blocked = watched + seeds)."""
+        rec = _trained(small_world, small_split, "ann")
+        for action in small_split.train:
+            rec.observe_demographic(action)
+        for user in _warm_users(rec):
+            got = rec.recommend_ids(user, current_video="v2", n=10)
+            assert len(got) == len(set(got))
+            assert "v2" not in got
+
+
+class TestDemographicPostFilterPin:
+    def test_recommend_filtered_is_exactly_postfiltered_recommend(
+        self, small_world, small_actions
+    ):
+        demo = DemographicRecommender(
+            small_world.users, clock=VirtualClock(0.0)
+        )
+        for action in small_actions[:400]:
+            demo.record(action)
+        now = small_actions[399].timestamp + 1
+        for user in list(small_world.users)[:6]:
+            full = demo.recommend(user, 10, now=now)
+            blocked = frozenset(full[::2])  # block every other pick
+            assert demo.recommend_filtered(
+                user, 10, blocked=blocked, now=now
+            ) == [vid for vid in full if vid not in blocked]
+
+    def test_blocked_videos_consume_budget_without_topup(
+        self, small_world, small_actions
+    ):
+        demo = DemographicRecommender(
+            small_world.users, clock=VirtualClock(0.0)
+        )
+        for action in small_actions[:400]:
+            demo.record(action)
+        now = small_actions[399].timestamp + 1
+        user = next(iter(small_world.users))
+        full = demo.recommend(user, 5, now=now)
+        if not full:
+            pytest.skip("group has no hot videos")
+        filtered = demo.recommend_filtered(
+            user, 5, blocked=frozenset({full[0]}), now=now
+        )
+        # One slot burned, never topped up past k-1.
+        assert filtered == full[1:]
+
+
+class TestBatchedSeedFetches:
+    def _mget_stats(self, obs):
+        ops = obs.registry.get("kvstore_ops_total")
+        keys = obs.registry.get("kvstore_batch_keys_total")
+        return (
+            ops.labels(op="mget").value,
+            keys.labels(op="mget").value,
+        )
+
+    def test_duplicate_seeds_are_one_mget(self, small_world, small_split):
+        obs = Observability.create()
+        rec = RealtimeRecommender(
+            small_world.videos,
+            users=small_world.users,
+            clock=VirtualClock(0.0),
+            store=InMemoryKVStore(),
+            obs=obs,
+            enable_demographic=False,
+        )
+        rec.observe_stream(small_split.train[:200])
+        ops_before, keys_before = self._mget_stats(obs)
+        rec.table.neighbors_many(["v1", "v1", "v2"])
+        ops_after, keys_after = self._mget_stats(obs)
+        assert ops_after - ops_before == 1
+        assert keys_after - keys_before == 2  # deduplicated before the batch
+
+    def test_selector_dedups_before_seed_cap(self, small_world, small_split):
+        obs = Observability.create()
+        rec = RealtimeRecommender(
+            small_world.videos,
+            users=small_world.users,
+            clock=VirtualClock(0.0),
+            store=InMemoryKVStore(),
+            obs=obs,
+            enable_demographic=False,
+        )
+        rec.observe_stream(small_split.train[:200])
+        cap = rec.config.recommend.max_seeds
+        # More duplicate seeds than the cap: dedup must happen *before*
+        # the cap so distinct seeds are not crowded out, and the table
+        # fetch stays a single batched read.
+        seeds = ["v1"] * cap + ["v2"]
+        ops_before, keys_before = self._mget_stats(obs)
+        rec.selector.select(seeds, now=1.0)
+        ops_after, keys_after = self._mget_stats(obs)
+        assert ops_after - ops_before == 1
+        assert keys_after - keys_before == 2
+
+    def test_cold_user_ann_fallback_batches_seed_vectors(
+        self, small_world, small_split
+    ):
+        obs = Observability.create()
+        config = ReproConfig(
+            # The per-key KV backend, where every vector read is store
+            # traffic — the layout the batching contract protects.
+            mf=MFConfig(backend="kv"),
+            retrieval=RetrievalConfig(
+                mode="ann", min_shortlist=100_000, shortlist_cap=200_000
+            ),
+        )
+        rec = RealtimeRecommender(
+            small_world.videos,
+            users=small_world.users,
+            config=config,
+            clock=VirtualClock(0.0),
+            store=InMemoryKVStore(),
+            obs=obs,
+            enable_demographic=False,
+        )
+        rec.observe_stream(small_split.train[:200])
+        rec.rebuild_index()
+        ops_before, keys_before = self._mget_stats(obs)
+        shortlist = rec._ann_shortlist(
+            "stranger", ["v1", "v1", "v2"], set(), 10
+        )
+        ops_after, keys_after = self._mget_stats(obs)
+        assert shortlist
+        assert ops_after - ops_before == 1  # one batch for all seed vectors
+        assert keys_after - keys_before == 2
+
+
+class TestRouterIntegration:
+    def test_handle_many_serves_ann_mode(self, small_world, small_split):
+        rec = _trained(small_world, small_split, "ann")
+        for action in small_split.train:
+            rec.observe_demographic(action)
+        router = RequestRouter(rec)
+        users = _warm_users(rec, limit=4)
+        requests = [RecRequest(user_id=u, n=5) for u in users] + [
+            RecRequest(user_id=users[0], current_video="v7", n=5)
+        ]
+        responses = router.handle_many(requests)
+        assert len(responses) == len(requests)
+        for response in responses:
+            assert response.error is None
+            assert response.video_ids
+            assert len(response.video_ids) <= 5
+
+    def test_ann_metrics_flow_into_registry(self, small_world, small_split):
+        obs = Observability.create()
+        rec = RealtimeRecommender(
+            small_world.videos,
+            users=small_world.users,
+            config=_config("ann"),
+            clock=VirtualClock(0.0),
+            obs=obs,
+        )
+        rec.observe_stream(small_split.train[:300])
+        rec.rebuild_index()
+        rec.recommend_ids(_warm_users(rec, limit=1)[0], n=5)
+        totals = obs.registry.counter_totals()
+
+        def total(family):
+            return sum(
+                v for k, v in totals.items() if k.split("{")[0] == family
+            )
+
+        assert total("ann_queries_total") >= 1
+        assert total("ann_probes_total") >= 1
+        assert total("ann_rebuilds_total") >= 1
+        assert total("ann_upserts_total") >= 1

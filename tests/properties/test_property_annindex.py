@@ -1,0 +1,129 @@
+"""Property-based tests for the ANN index: the Charikar collision law,
+membership under arbitrary upsert/evict interleavings, and shortlist
+containment/partition invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RetrievalConfig
+from repro.core import AnnIndex, RandomHyperplanes
+from repro.data import Video
+
+KINDS = ("music", "news", "sport")
+
+
+def _vector_for(video_id: str, f: int = 4) -> np.ndarray:
+    """A deterministic pseudo-random factor vector per id."""
+    rng = np.random.default_rng(abs(hash(video_id)) % (2**32))
+    return rng.standard_normal(f) * 0.3
+
+
+def _videos(n=12):
+    return {
+        f"v{i}": Video(f"v{i}", KINDS[i % len(KINDS)], duration=100.0)
+        for i in range(n)
+    }
+
+
+class TestCollisionLaw:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        angle=st.floats(0.05, np.pi - 0.05),
+    )
+    def test_hamming_tracks_angle(self, seed, angle):
+        """P(sign bit differs) = theta/pi (Charikar): with 504 hyperplanes
+        the empirical bit-difference rate stays within a generous CLT band
+        of the angle between the vectors."""
+        family = RandomHyperplanes(6, tables=8, band_bits=63, seed=seed)
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(6)
+        a /= np.linalg.norm(a)
+        raw = rng.standard_normal(6)
+        ortho = raw - (raw @ a) * a
+        ortho /= np.linalg.norm(ortho)
+        b = np.cos(angle) * a + np.sin(angle) * ortho
+        bits = family.bit_matrix(np.vstack([a, b]))
+        observed = RandomHyperplanes.hamming(bits[0], bits[1]) / bits.shape[1]
+        assert abs(observed - angle / np.pi) < 0.15
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_closer_pair_collides_more(self, seed):
+        family = RandomHyperplanes(6, tables=8, band_bits=63, seed=seed)
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(6)
+        a /= np.linalg.norm(a)
+        raw = rng.standard_normal(6)
+        ortho = raw - (raw @ a) * a
+        ortho /= np.linalg.norm(ortho)
+
+        def ham(angle):
+            b = np.cos(angle) * a + np.sin(angle) * ortho
+            bits = family.bit_matrix(np.vstack([a, b]))
+            return RandomHyperplanes.hamming(bits[0], bits[1])
+
+        assert ham(0.2) < ham(2.9)
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["upsert", "evict"]),
+        st.sampled_from([f"v{i}" for i in range(12)]),
+    ),
+    max_size=60,
+)
+
+
+class TestMembership:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=ops)
+    def test_matches_dict_reference_under_any_interleaving(self, ops):
+        videos = _videos()
+        idx = AnnIndex(
+            4, videos=videos, config=RetrievalConfig(check_every=1)
+        )
+        reference: dict[str, np.ndarray] = {}
+        for op, vid in ops:
+            if op == "upsert":
+                vec = _vector_for(vid)
+                idx.upsert(vid, vec)
+                reference[vid] = vec
+            else:
+                assert idx.evict(vid) == (vid in reference)
+                reference.pop(vid, None)
+        assert len(idx) == len(reference)
+        assert idx.indexed_ids() == sorted(reference)
+        for vid in videos:
+            assert (vid in idx) == (vid in reference)
+        # Every member retrieves itself; non-members never appear.
+        for vid, vec in reference.items():
+            shortlist = idx.query_item(vec, len(reference))
+            assert vid in shortlist
+            assert set(shortlist) <= set(reference)
+
+
+class TestShortlistInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        allowed=st.sets(st.sampled_from(KINDS), min_size=1),
+        n=st.integers(1, 20),
+    )
+    def test_subset_of_catalog_and_respects_partitions(
+        self, seed, allowed, n
+    ):
+        videos = _videos(30)
+        ids = sorted(videos)
+        vectors = np.vstack([_vector_for(vid, 8) for vid in ids])
+        idx = AnnIndex(8, videos=videos)
+        idx.bulk_load(ids, vectors)
+        query = np.random.default_rng(seed).standard_normal(8)
+        shortlist = idx.query_user(query, n, allowed_partitions=allowed)
+        assert set(shortlist) <= set(ids)
+        assert shortlist == sorted(shortlist)
+        assert all(videos[vid].kind in allowed for vid in shortlist)
+        excluded = set(ids[:10])
+        filtered = idx.query_user(query, n, exclude=excluded)
+        assert not excluded & set(filtered)
