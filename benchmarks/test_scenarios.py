@@ -1,0 +1,94 @@
+"""Scenario sweep — the four adversarial regimes x the four live-test arms.
+
+The paper's live experiment (§6.2) ran on benign organic traffic; the
+scenario engine stresses the same four arms under the regimes where
+real-time updating is supposed to pay off: a flash crowd, daily catalog
+churn with cold items, a diurnal traffic wave, and a mid-stream preference
+drift.  Two invariants are asserted per scenario:
+
+* **quality** — the paper's CTR ordering (Hot < AR ~ SimHash < rMF)
+  survives the disturbance;
+* **ops** — the serving plane under the scenario's offered-load profile
+  reports a valid, finite envelope (shed rate, accepted p99, breaker
+  trips, post-event recovery time).
+
+Every run emits one schema-versioned ``BENCH_scenarios.json`` with the
+flattened metrics of all four scenarios, which CI validates and archives.
+"""
+
+from repro.eval.scenarios import (
+    SCENARIO_LIBRARY,
+    run_scenario,
+    validate_scenario_report,
+)
+
+from _emit import emit_bench
+from _helpers import format_rows, report, smoke_scaled
+
+DAYS = smoke_scaled(8, 6)
+N_USERS = 120
+N_VIDEOS = 160
+ARMS = ("Hot", "AR", "SimHash", "rMF")
+
+
+def test_scenario_sweep(benchmark):
+    reports = {}
+
+    def run_all():
+        for name, factory in sorted(SCENARIO_LIBRARY.items()):
+            reports[name] = run_scenario(
+                factory(), days=DAYS, n_users=N_USERS, n_videos=N_VIDEOS
+            )
+        return reports
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    ctr_rows = []
+    ops_rows = []
+    metrics = {}
+    for name, scenario_report in sorted(reports.items()):
+        doc = scenario_report.to_doc()
+        assert validate_scenario_report(doc) == []
+        metrics.update(scenario_report.flat_metrics())
+
+        row = {"scenario": name}
+        for arm in ARMS:
+            ctr = doc["arms"][arm]["overall_ctr"]
+            row[arm] = round(ctr, 4) if ctr is not None else "-"
+        row["ordering_ok"] = doc["ctr_ordering_ok"]
+        ctr_rows.append(row)
+
+        ops = doc["ops"]
+        ops_rows.append(
+            {
+                "scenario": name,
+                "shed_rate": round(ops["shed_rate"], 4),
+                "peak_shed": round(ops["peak_window_shed_rate"], 4),
+                "p99_ms": round(ops["accepted_p99_ms"], 3),
+                "breaker_trips": int(ops["breaker_trips"]),
+                "recovery_s": int(ops["recovery_seconds"]),
+            }
+        )
+
+    report(
+        "scenarios_ctr",
+        format_rows(
+            ctr_rows, columns=["scenario", *ARMS, "ordering_ok"]
+        ),
+    )
+    report("scenarios_ops", format_rows(ops_rows))
+    emit_bench(
+        "scenarios",
+        metrics,
+        params={"days": DAYS, "n_users": N_USERS, "n_videos": N_VIDEOS},
+    )
+
+    # The published ordering must survive every adversarial regime.
+    for name, scenario_report in reports.items():
+        assert scenario_report.ctr_ordering_ok, (
+            f"CTR ordering broke under {name}: "
+            f"{ {a: s['overall_ctr'] for a, s in scenario_report.arms.items()} }"
+        )
+    # Scenarios with a traffic spike must actually stress admission.
+    assert reports["flash_crowd"].ops["peak_window_shed_rate"] > 0.0
+    assert reports["diurnal_wave"].ops["peak_window_shed_rate"] > 0.0

@@ -9,12 +9,15 @@ errors, millisecond-class latency, and the model demonstrably advancing
 during the run.
 """
 
-from repro.serving import LoadGenerator, RequestRouter
+from repro.clock import VirtualClock
+from repro.reliability.overload import AdmissionController
+from repro.serving import ARRIVAL_PROCESSES, LoadGenerator, RequestRouter
 
 from _emit import emit_bench
 from _helpers import format_rows, report, smoke_scaled
 
 TOTAL_REQUESTS = smoke_scaled(2000, 300)
+OFFERED_REQUESTS = smoke_scaled(3000, 600)
 
 
 def test_serving_under_load_while_training(
@@ -79,3 +82,68 @@ def test_serving_under_load_while_training(
     assert load.p99_latency_ms < 250.0
     assert load.trained_actions > 0  # the model really trained concurrently
     assert recommender.trainer.stats.seen > seen_before
+
+
+def test_offered_load_arrival_shapes(benchmark, paper_world, trained_variants):
+    """Open-loop offered load at capacity, across arrival processes.
+
+    All three shapes come from the shared
+    :func:`repro.serving.arrivals.arrival_times` schedule (the same helper
+    the scenario runner's ops loop uses).  At an offered rate equal to the
+    admission controller's sustained rate, uniform arrivals ride the token
+    refill and shed nothing, while bursts of 32 against an 8-token bucket
+    must shed — the adversarial shape token buckets exist for.
+    """
+    recommender = trained_variants["CombineModel"]
+    rate = 200.0
+
+    def run_all():
+        results = {}
+        for process in ARRIVAL_PROCESSES:
+            clock = VirtualClock(0.0)
+            router = RequestRouter(
+                recommender,
+                admission=AdmissionController(rate=rate, burst=8, clock=clock),
+                clock=clock,
+            )
+            generator = LoadGenerator(
+                router,
+                list(paper_world.users),
+                list(paper_world.videos),
+                related_fraction=0.5,
+                seed=23,
+            )
+            results[process] = generator.run_offered(
+                OFFERED_REQUESTS, qps=rate, clock=clock, process=process
+            )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "process": process,
+            "requests": load.requests,
+            "shed": load.shed,
+            "shed_rate": round(load.shed / load.requests, 4),
+            "errors": load.errors,
+        }
+        for process, load in results.items()
+    ]
+    report("serving_offered_arrivals", format_rows(rows))
+    emit_bench(
+        "serving_offered_arrivals",
+        metrics={
+            f"{process}_shed_rate": load.shed / load.requests
+            for process, load in results.items()
+        },
+        params={"requests": OFFERED_REQUESTS, "qps": rate},
+    )
+
+    for load in results.values():
+        assert load.errors == 0
+        assert load.requests == OFFERED_REQUESTS
+    # Uniform at capacity rides the refill; bursts overwhelm the bucket.
+    assert results["uniform"].shed == 0
+    assert results["burst"].shed > results["uniform"].shed
+    assert results["burst"].shed > 0

@@ -1,12 +1,14 @@
-"""Simulated A/B test — rMF against the production comparators (§6.2).
+"""Continuous experimentation — rMF against the production comparators (§6.2).
 
 Run:  python examples/ab_test.py
 
-What it shows: the live-evaluation methodology of the paper — traffic
-diverted into arms, one recommendation method per arm, CTR tracked per day
-— on the synthetic world whose ground-truth click model simulates the
-users.  Batch arms (AR, SimHash) retrain daily; Hot and rMF update in real
-time.
+What it shows: the live-evaluation methodology of the paper, upgraded to
+the :class:`repro.eval.Experiment` platform — team-draft interleaved
+traffic (every request is a multileaved list drafted from all arms, which
+slashes the variance of CTR deltas), mSPRT sequential stopping against the
+Hot control, CTR tracked per day — on the synthetic world whose
+ground-truth click model simulates the users.  Batch arms (AR, SimHash)
+retrain daily; Hot and rMF update in real time.
 """
 
 from repro import RealtimeRecommender, SyntheticWorld, VirtualClock
@@ -16,7 +18,7 @@ from repro.baselines import (
     SimHashCFRecommender,
 )
 from repro.data.synthetic import paper_world_config
-from repro.eval import ABTestHarness
+from repro.eval import Experiment, MSPRTStopping
 
 DAYS = 5
 
@@ -35,18 +37,31 @@ def main() -> None:
             world.videos, users=world.users, clock=VirtualClock(0.0)
         ),
     }
-    harness = ABTestHarness(
-        world, arms=arms, days=DAYS, requests_per_user_per_day=1, top_n=10
+    experiment = Experiment(
+        world,
+        arms,
+        days=DAYS,
+        requests_per_user_per_day=1,
+        top_n=10,
+        assignment="interleave",
+        stopping=MSPRTStopping(control="Hot", min_days=2),
     )
-    print(f"running a {DAYS}-day A/B test with arms: {', '.join(arms)} ...")
-    result = harness.run()
+    print(
+        f"running a {DAYS}-day interleaved experiment with arms: "
+        f"{', '.join(arms)} ..."
+    )
+    result = experiment.run()
 
     daily = result.daily_ctr()
     print("\nper-day CTR (Figure 7 series):")
     header = "day  " + "  ".join(f"{arm:>8}" for arm in arms)
     print(header)
-    for day in range(DAYS):
-        cells = "  ".join(f"{daily[arm][day]:8.4f}" for arm in arms)
+    for day in range(result.days):
+        cells = "  ".join(
+            f"{daily[arm][day]:8.4f}" if daily[arm][day] is not None else
+            f"{'-':>8}"
+            for arm in arms
+        )
         print(f"{day + 1:>3}  {cells}")
 
     print("\noverall CTR:")
@@ -59,6 +74,17 @@ def main() -> None:
     improvements = result.improvement_table()
     for (a, b) in (("rMF", "Hot"), ("rMF", "AR"), ("rMF", "SimHash")):
         print(f"  {a} over {b}: {100 * improvements[(a, b)]:+.1f} %")
+
+    print("\nsequential stopping (mSPRT vs the Hot control):")
+    for arm, p in sorted(result.p_values.items()):
+        print(f"  {arm:<8} running p-value {p:.2e}")
+    if result.stopped_day is not None:
+        print(
+            f"  stopped early after day {result.stopped_day + 1}: "
+            f"{result.stopped_arm} beat the control at alpha=0.05"
+        )
+    else:
+        print("  ran the full horizon (no arm crossed alpha)")
 
 
 if __name__ == "__main__":

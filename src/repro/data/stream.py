@@ -68,6 +68,21 @@ def day_of(action: UserAction) -> int:
     return int(action.timestamp // SECONDS_PER_DAY)
 
 
+def group_by_day(
+    actions: Iterable[UserAction],
+) -> dict[int, list[UserAction]]:
+    """Bucket actions by zero-based day index, preserving input order.
+
+    The experiment harness replays one day of shared organic traffic at a
+    time; this is the canonical day-bucketing used by both the legacy
+    A/B harness and :class:`~repro.eval.experiment.Experiment`.
+    """
+    by_day: dict[int, list[UserAction]] = {}
+    for action in actions:
+        by_day.setdefault(day_of(action), []).append(action)
+    return by_day
+
+
 @dataclass(frozen=True, slots=True)
 class TrainTestSplit:
     """A chronological train/test partition of an action stream."""

@@ -28,13 +28,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..clock import SECONDS_PER_DAY
-from ..errors import ConfigError
+from ..errors import ConfigError, DataError
 from .schema import ActionType, User, UserAction, Video
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (eval -> data)
+    from ..eval.scenarios import Scenario
 
 
 @dataclass(frozen=True, slots=True)
@@ -161,10 +164,44 @@ def paper_world_config(
     return WorldConfig(**base)  # type: ignore[arg-type]
 
 
-class SyntheticWorld:
-    """A generated catalogue + population with queryable ground truth."""
+@dataclass(slots=True)
+class _DayState:
+    """The world dynamics in force on one simulated day.
 
-    def __init__(self, config: WorldConfig | None = None) -> None:
+    For a scenario-free world every field aliases the base structures, so
+    the generator's draw sequence — and therefore its output — is
+    byte-identical to the pre-scenario implementation (pinned by the
+    golden digest test).  Scenario events swap in per-day variants:
+    boosted/renormalised popularity, restricted catalogues, rotated
+    preference factors, modulated arrival rates, wave-shaped session
+    start times.
+    """
+
+    pop: np.ndarray
+    videos_of_type: list[np.ndarray]
+    type_pop: list[np.ndarray]
+    favorites: np.ndarray
+    active: np.ndarray | None
+    user_factors: np.ndarray
+    type_probs: np.ndarray
+    rate_multiplier: float
+    start_sampler: Callable[[float], float] | None
+
+
+class SyntheticWorld:
+    """A generated catalogue + population with queryable ground truth.
+
+    ``scenario`` (a :class:`~repro.eval.scenarios.Scenario`, duck-typed)
+    drives the world's dynamics through a timeline of typed events; with
+    no scenario — or an event-free one — the generator is byte-identical
+    to the classic organic world.
+    """
+
+    def __init__(
+        self,
+        config: WorldConfig | None = None,
+        scenario: "Scenario | None" = None,
+    ) -> None:
         self.config = config or WorldConfig()
         cfg = self.config
         self._rng = np.random.default_rng(cfg.seed)
@@ -266,27 +303,146 @@ class SyntheticWorld:
             else:
                 self._type_pop.append(np.empty(0))
 
+        # ---- scenario dynamics ------------------------------------------
+        # Everything above is the base world, built with exactly the same
+        # RNG consumption as before scenarios existed.  Scenario-injected
+        # structure uses dedicated generators so the organic stream of the
+        # default world stays byte-identical.
+        self.scenario = scenario if scenario is not None and getattr(
+            scenario, "events", None
+        ) else None
+        self._n_base_videos = cfg.n_videos
+        #: Unnormalised per-video weight including scenario extras.
+        self._raw_popularity = self._base_popularity
+        #: First day each video may be impressed (0 for the base catalogue).
+        self._available_from = np.zeros(cfg.n_videos, dtype=int)
+        #: Base videos in retirement order (weakest base popularity first).
+        self._retire_order = np.argsort(
+            self._base_popularity, kind="stable"
+        )
+        self._day_states: dict[int, _DayState] = {}
+        self._drift_factors: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        if self.scenario is not None:
+            self._apply_scenario(self.scenario)
+        self._index_to_id = list(self.videos)
+
+    def _apply_scenario(self, scenario: "Scenario") -> None:
+        """Inject scenario extras (new videos) into the catalogue."""
+        cfg = self.config
+        specs = scenario.extra_video_specs(cfg.days)
+        if not specs:
+            return
+        srng = np.random.default_rng(cfg.seed * 7919 + 101)
+        d = cfg.latent_dim
+        tc = cfg.type_cohesion
+        extra_factors = []
+        extra_types = []
+        extra_available = []
+        # Extras enter at the base catalogue's median popularity: visible
+        # once active, but not trivially dominant without an event boost.
+        extra_weight = float(np.quantile(self._base_popularity, 0.5))
+        for spec in specs:
+            if spec.video_id in self.videos:
+                raise ConfigError(
+                    f"scenario video id {spec.video_id!r} collides with the "
+                    "base catalogue"
+                )
+            k = spec.type_index % cfg.n_types
+            noise = srng.normal(size=d)
+            noise /= np.linalg.norm(noise)
+            vec = math.sqrt(tc) * self._type_means[k] + math.sqrt(1 - tc) * noise
+            duration = float(max(60.0, srng.lognormal(mean=6.8, sigma=0.6)))
+            video = Video(
+                video_id=spec.video_id,
+                kind=self.type_labels[k],
+                duration=duration,
+                publish_time=spec.available_from_day * SECONDS_PER_DAY,
+            )
+            self._video_index[spec.video_id] = len(self._video_index)
+            self.videos[spec.video_id] = video
+            extra_factors.append(vec)
+            extra_types.append(k)
+            extra_available.append(spec.available_from_day)
+        self.video_factors = np.vstack([self.video_factors, extra_factors])
+        self._video_types = np.concatenate(
+            [self._video_types, np.asarray(extra_types, dtype=int)]
+        )
+        self._raw_popularity = np.concatenate(
+            [
+                self._base_popularity,
+                np.full(len(specs), extra_weight),
+            ]
+        )
+        self._available_from = np.concatenate(
+            [
+                self._available_from,
+                np.asarray(extra_available, dtype=int),
+            ]
+        )
+
     # ------------------------------------------------------------------
     # Ground-truth queries
     # ------------------------------------------------------------------
 
-    def affinity(self, user_id: str, video_id: str) -> float:
-        """True latent affinity (inner product of ground-truth factors)."""
+    def _effective_user_factors(self, now: float | None) -> np.ndarray:
+        """User factors at ``now`` — rotated when a drift event is active."""
+        if self.scenario is None or now is None:
+            return self.user_factors
+        day = int(now // SECONDS_PER_DAY)
+        cached = self._drift_factors.get(day)
+        if cached is not None:
+            return cached[0]
+        rotation = self.scenario.drift_rotation(day, self.config.latent_dim)
+        if rotation is None:
+            factors = self.user_factors
+            type_probs = self._user_type_probs
+        else:
+            factors = self.user_factors @ rotation.T
+            type_probs = self._type_probs_for(factors)
+        self._drift_factors[day] = (factors, type_probs)
+        return factors
+
+    def _type_probs_for(self, user_factors: np.ndarray) -> np.ndarray:
+        """Per-user type preference softmax for a factor matrix."""
+        logits = (
+            user_factors @ self._type_means.T * self.config.type_temperature
+        )
+        logits -= logits.max(axis=1, keepdims=True)
+        expl = np.exp(logits)
+        return expl / expl.sum(axis=1, keepdims=True)
+
+    def affinity(
+        self, user_id: str, video_id: str, now: float | None = None
+    ) -> float:
+        """True latent affinity (inner product of ground-truth factors).
+
+        ``now`` matters only under a preference-drift scenario, where the
+        ground truth itself moves mid-stream.
+        """
         u = self._user_index[user_id]
         v = self._video_index[video_id]
-        return float(self.user_factors[u] @ self.video_factors[v])
+        factors = self._effective_user_factors(now)
+        return float(factors[u] @ self.video_factors[v])
 
-    def click_probability(self, user_id: str, video_id: str) -> float:
+    def click_probability(
+        self, user_id: str, video_id: str, now: float | None = None
+    ) -> float:
         """P(click | impression) under the generative click model."""
         cfg = self.config
-        return _sigmoid(cfg.click_bias + cfg.click_scale * self.affinity(user_id, video_id))
+        return _sigmoid(
+            cfg.click_bias
+            + cfg.click_scale * self.affinity(user_id, video_id, now=now)
+        )
 
-    def best_videos(self, user_id: str, k: int = 10) -> list[str]:
+    def best_videos(
+        self, user_id: str, k: int = 10, now: float | None = None
+    ) -> list[str]:
         """Ground-truth top-k videos for a user (for sanity checks)."""
         u = self._user_index[user_id]
-        scores = self.video_factors @ self.user_factors[u]
+        factors = self._effective_user_factors(now)
+        scores = self.video_factors @ factors[u]
         order = np.argsort(-scores)[:k]
-        return [f"v{j}" for j in order]
+        return [self._index_to_id[j] for j in order]
 
     def group_of(self, user_id: str) -> str:
         return self.users[user_id].demographic_group
@@ -305,51 +461,199 @@ class SyntheticWorld:
         pop[trending] *= cfg.trending_boost
         return pop / pop.sum()
 
+    def _default_day_state(self, day: int) -> _DayState:
+        """The classic organic dynamics — every field aliases base state."""
+        return _DayState(
+            pop=self._daily_popularity(day),
+            videos_of_type=self._videos_of_type,
+            type_pop=self._type_pop,
+            favorites=self._favorites,
+            active=None,
+            user_factors=self.user_factors,
+            type_probs=self._user_type_probs,
+            rate_multiplier=1.0,
+            start_sampler=None,
+        )
+
+    def _scenario_day_state(self, day: int) -> _DayState:
+        """Dynamics for ``day`` with every scenario event applied."""
+        cfg = self.config
+        scenario = self.scenario
+        assert scenario is not None
+        n_total = self._raw_popularity.size
+
+        # Popularity: rotating trending boost over the base catalogue (as
+        # in the organic world), scenario multipliers on top, inactive
+        # videos zeroed, renormalised over what remains.
+        n_trending = max(1, int(cfg.trending_fraction * cfg.n_videos))
+        day_rng = np.random.default_rng(cfg.seed * 1_000_003 + day)
+        trending = day_rng.choice(cfg.n_videos, size=n_trending, replace=False)
+        pop = self._raw_popularity.copy()
+        pop[trending] *= cfg.trending_boost
+        for video_id, mult in scenario.popularity_multipliers(day).items():
+            idx = self._video_index.get(video_id)
+            if idx is None:
+                raise ConfigError(
+                    f"scenario boosts unknown video {video_id!r}"
+                )
+            pop[idx] *= mult
+
+        # Catalogue membership: not-yet-published extras and retired base
+        # videos are inactive — never impressed, never organically engaged.
+        active = self._available_from <= day
+        retired = scenario.retire_count_through(day)
+        if retired > 0:
+            active = active.copy()
+            active[self._retire_order[: min(retired, cfg.n_videos)]] = False
+        if not active.any():
+            raise DataError(
+                f"scenario {scenario.name!r} retired the whole catalogue "
+                f"by day {day}"
+            )
+        pop[~active] = 0.0
+        total = pop.sum()
+        if total <= 0:
+            raise DataError(
+                f"scenario {scenario.name!r} left no impressable videos "
+                f"on day {day}"
+            )
+        pop /= total
+
+        videos_of_type: list[np.ndarray] = []
+        type_pop: list[np.ndarray] = []
+        for k in range(cfg.n_types):
+            members = np.flatnonzero((self._video_types == k) & active)
+            videos_of_type.append(members)
+            if members.size:
+                weights = pop[members]
+                wsum = weights.sum()
+                if wsum > 0:
+                    type_pop.append(weights / wsum)
+                else:
+                    type_pop.append(
+                        np.full(members.size, 1.0 / members.size)
+                    )
+            else:
+                type_pop.append(np.empty(0))
+
+        self._effective_user_factors(day * SECONDS_PER_DAY)
+        factors, type_probs = self._drift_factors.get(
+            day, (self.user_factors, self._user_type_probs)
+        )
+
+        wave = scenario.arrival_wave(day)
+        sampler = self._wave_sampler(wave) if wave is not None else None
+
+        return _DayState(
+            pop=pop,
+            videos_of_type=videos_of_type,
+            type_pop=type_pop,
+            favorites=self._favorites,
+            active=active if not active.all() else None,
+            user_factors=factors,
+            type_probs=type_probs,
+            rate_multiplier=scenario.rate_multiplier(day),
+            start_sampler=sampler,
+        )
+
+    @staticmethod
+    def _wave_sampler(
+        wave: tuple[float, float, float],
+    ) -> Callable[[float], float]:
+        """Inverse-CDF sampler of within-day session start offsets.
+
+        Density ``max(0.05, 1 + a*sin(2*pi*t/T + phase))`` over the same
+        ``[0, SECONDS_PER_DAY - 3600)`` support the uniform sampler uses,
+        tabulated on a fixed grid; consumes exactly one uniform draw per
+        session, like the organic path.
+        """
+        amplitude, period, phase = wave
+        span = SECONDS_PER_DAY - 3600.0
+        grid = np.linspace(0.0, span, 513)
+        density = np.maximum(
+            0.05, 1.0 + amplitude * np.sin(2.0 * np.pi * grid / period + phase)
+        )
+        cdf = np.concatenate([[0.0], np.cumsum((density[1:] + density[:-1]))])
+        cdf /= cdf[-1]
+
+        def sample(u: float) -> float:
+            return float(np.interp(u, cdf, grid))
+
+        return sample
+
+    def _day_state(self, day: int) -> _DayState:
+        if self.scenario is None:
+            return self._default_day_state(day)
+        state = self._day_states.get(day)
+        if state is None:
+            state = self._scenario_day_state(day)
+            self._day_states[day] = state
+        return state
+
     def _sample_impressions(
-        self, user_idx: int, count: int, pop: np.ndarray, rng: np.random.Generator
+        self,
+        user_idx: int,
+        count: int,
+        state: _DayState,
+        rng: np.random.Generator,
     ) -> np.ndarray:
         """Draw ``count`` impressed videos for one session."""
         cfg = self.config
+        pop = state.pop
         chosen = np.empty(count, dtype=int)
         rolls = rng.random(count)
-        favorites = self._favorites[user_idx]
+        favorites = state.favorites[user_idx]
         for slot in range(count):
             roll = rolls[slot]
             if roll < cfg.rewatch_mix and favorites.size:
                 # Re-watching: revisit a personal favourite (series, show).
-                chosen[slot] = favorites[rng.integers(0, favorites.size)]
+                pick = favorites[rng.integers(0, favorites.size)]
+                if state.active is not None and not state.active[pick]:
+                    # The favourite left the catalogue — the user falls
+                    # back to browsing what is actually on offer.
+                    pick = rng.choice(pop.size, p=pop)
+                chosen[slot] = pick
             elif roll < cfg.rewatch_mix + cfg.popularity_mix:
-                chosen[slot] = rng.choice(cfg.n_videos, p=pop)
+                chosen[slot] = rng.choice(pop.size, p=pop)
             else:
-                k = rng.choice(cfg.n_types, p=self._user_type_probs[user_idx])
-                members = self._videos_of_type[k]
+                k = rng.choice(cfg.n_types, p=state.type_probs[user_idx])
+                members = state.videos_of_type[k]
                 if members.size == 0:
-                    chosen[slot] = rng.choice(cfg.n_videos, p=pop)
+                    chosen[slot] = rng.choice(pop.size, p=pop)
                 else:
-                    chosen[slot] = rng.choice(members, p=self._type_pop[k])
+                    chosen[slot] = rng.choice(members, p=state.type_pop[k])
         return chosen
 
     def generate_actions(self, days: int | None = None) -> list[UserAction]:
         """Generate the full time-ordered action stream.
 
         Timestamps start at 0.0 (day 0) and span ``days`` (defaults to the
-        configured world length).  Deterministic for a fixed config.
+        configured world length).  Deterministic for a fixed config — and
+        byte-identical to the pre-scenario generator when no scenario
+        event is active.
         """
         cfg = self.config
         span = days if days is not None else cfg.days
         rng = np.random.default_rng(cfg.seed + 1)
         actions: list[UserAction] = []
         for day in range(span):
-            pop = self._daily_popularity(day)
+            state = self._day_state(day)
             day_start = day * SECONDS_PER_DAY
-            n_sessions = rng.poisson(
-                self._activity * cfg.mean_sessions_per_day
-            )
+            lam = self._activity * cfg.mean_sessions_per_day
+            if state.rate_multiplier != 1.0:
+                lam = lam * state.rate_multiplier
+            n_sessions = rng.poisson(lam)
             for u in range(cfg.n_users):
                 for _ in range(int(n_sessions[u])):
-                    start = day_start + rng.uniform(0, SECONDS_PER_DAY - 3600)
+                    offset = rng.uniform(0, SECONDS_PER_DAY - 3600)
+                    if state.start_sampler is not None:
+                        offset = state.start_sampler(
+                            offset / (SECONDS_PER_DAY - 3600.0)
+                        )
                     actions.extend(
-                        self._generate_session(u, start, pop, rng)
+                        self._generate_session(
+                            u, day_start + offset, state, rng
+                        )
                     )
         actions.sort()
         return actions
@@ -358,20 +662,20 @@ class SyntheticWorld:
         self,
         user_idx: int,
         start: float,
-        pop: np.ndarray,
+        state: _DayState,
         rng: np.random.Generator,
     ) -> list[UserAction]:
         """Simulate one session: impressions and the resulting funnel."""
         cfg = self.config
         user_id = f"u{user_idx}"
         impressed = self._sample_impressions(
-            user_idx, cfg.impressions_per_session, pop, rng
+            user_idx, cfg.impressions_per_session, state, rng
         )
         out: list[UserAction] = []
         t = start
-        x_u = self.user_factors[user_idx]
+        x_u = state.user_factors[user_idx]
         for v in impressed:
-            video_id = f"v{v}"
+            video_id = self._index_to_id[v]
             out.append(
                 UserAction(
                     timestamp=t,
@@ -515,16 +819,18 @@ class SyntheticWorld:
         user_id: str,
         recommended: Iterable[str],
         rng: np.random.Generator,
+        now: float | None = None,
     ) -> list[str]:
         """Simulate which of ``recommended`` the user would click.
 
-        Used by the A/B testing harness: each shown video is clicked
-        independently with its ground-truth click probability.
+        Used by the experimentation harness: each shown video is clicked
+        independently with its ground-truth click probability.  ``now``
+        lets scenario runs evaluate against drift-rotated preferences.
         """
         clicked = []
         for video_id in recommended:
             if video_id not in self._video_index:
                 continue
-            if rng.random() < self.click_probability(user_id, video_id):
+            if rng.random() < self.click_probability(user_id, video_id, now):
                 clicked.append(video_id)
         return clicked

@@ -1,8 +1,27 @@
 """Evaluation: metrics (Eqs. 13-14), offline protocol (§6.1), grid search
-(Table 2), and the simulated A/B test (§6.2)."""
+(Table 2), the experimentation platform (§6.2), and scriptable
+adversarial scenarios (ROADMAP item 1)."""
 
 from .abtest import ABTestHarness, ABTestResult, ArmStats
+from .experiment import (
+    Experiment,
+    ExperimentResult,
+    MSPRTStopping,
+    mixture_sprt_p_value,
+)
 from .gridsearch import GridPoint, GridSearchResult, grid_search
+from .scenarios import (
+    SCENARIO_LIBRARY,
+    CatalogChurn,
+    DiurnalWave,
+    FlashCrowd,
+    PreferenceDrift,
+    Scenario,
+    ScenarioOpsConfig,
+    ScenarioReport,
+    run_scenario,
+    validate_scenario_report,
+)
 from .multiseed import (
     SeedSummary,
     bootstrap_ci,
@@ -44,6 +63,20 @@ __all__ = [
     "ABTestHarness",
     "ABTestResult",
     "ArmStats",
+    "Experiment",
+    "ExperimentResult",
+    "MSPRTStopping",
+    "mixture_sprt_p_value",
+    "Scenario",
+    "FlashCrowd",
+    "CatalogChurn",
+    "DiurnalWave",
+    "PreferenceDrift",
+    "SCENARIO_LIBRARY",
+    "ScenarioOpsConfig",
+    "ScenarioReport",
+    "run_scenario",
+    "validate_scenario_report",
     "run_across_seeds",
     "summarize",
     "SeedSummary",

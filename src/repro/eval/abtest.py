@@ -1,180 +1,66 @@
-"""Simulated live A/B testing (paper §6.2, Figure 7, Table 5).
+"""Deprecated shim over :mod:`repro.eval.experiment` (paper §6.2).
 
-The paper evaluates production methods by diverting live traffic into
-groups, one method per group, and comparing click-through rates over ten
-days.  We reproduce the setup on the synthetic world:
+The simulated live A/B test originally lived here as a single fixed
+hash-split loop.  The evaluation plane now runs on
+:class:`~repro.eval.experiment.Experiment` — many concurrent arms,
+optional team-draft interleaving, and mSPRT sequential stopping — and
+this module keeps the historical entry points working:
 
-* **traffic split** — every user is assigned to one arm by a stable hash,
-  so the same user always hits the same method (as in a real A/B test);
-* **shared site logs** — all arms observe the same organic daily action
-  stream (every production model trains on the full site logs), plus the
-  engagement their own recommendations generate (CLICK/PLAY follow-ups);
-* **CTR accounting** — each served request counts its shown videos as
-  impressions and simulates clicks with the world's ground-truth click
-  model; CTR is clicks/impressions per arm per day;
-* **training cadence** — arms exposing a ``retrain(now)`` method are
-  retrained at the end of every day ("trained in batch mode for every
-  day"); online arms simply keep observing.
+* :class:`ABTestHarness` is a thin subclass of ``Experiment`` pinned to
+  ``assignment="hash"``; its draw sequence (and therefore its output) is
+  identical to the legacy implementation;
+* :class:`ABTestResult` and :class:`ArmStats` are re-exports of the
+  experiment-layer types.  Note ``ArmStats.daily_ctr`` now reports
+  ``None`` (not 0.0) on zero-impression days, and ``overall_ctr`` is NaN
+  for a never-served arm.
+
+New code should import from :mod:`repro.eval.experiment` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
+import warnings
+from typing import Any, Mapping
 
-import numpy as np
-
-from ..clock import SECONDS_PER_DAY
-from ..data.schema import ActionType, UserAction
-from ..data.stream import day_of
 from ..data.synthetic import SyntheticWorld
-from ..hashing import stable_bucket
+from .experiment import ArmStats, Experiment, ExperimentResult
+
+__all__ = ["ABTestHarness", "ABTestResult", "ArmStats"]
+
+#: Historical name for the result type (same object, richer API).
+ABTestResult = ExperimentResult
 
 
-@dataclass(slots=True)
-class ArmStats:
-    """Per-arm impression/click accounting."""
+class ABTestHarness(Experiment):
+    """Deprecated: use :class:`repro.eval.experiment.Experiment`.
 
-    impressions: list[int] = field(default_factory=list)
-    clicks: list[int] = field(default_factory=list)
-
-    def daily_ctr(self) -> list[float]:
-        return [
-            c / i if i else 0.0 for c, i in zip(self.clicks, self.impressions)
-        ]
-
-    @property
-    def overall_ctr(self) -> float:
-        total_impressions = sum(self.impressions)
-        return sum(self.clicks) / total_impressions if total_impressions else 0.0
-
-
-@dataclass(frozen=True, slots=True)
-class ABTestResult:
-    """The outcome of one simulated A/B test."""
-
-    arms: Mapping[str, ArmStats]
-    days: int
-
-    def daily_ctr(self) -> dict[str, list[float]]:
-        """Figure 7: one CTR series per arm."""
-        return {name: stats.daily_ctr() for name, stats in self.arms.items()}
-
-    def overall_ctr(self) -> dict[str, float]:
-        return {name: stats.overall_ctr for name, stats in self.arms.items()}
-
-    def improvement_table(self) -> dict[tuple[str, str], float]:
-        """Table 5: relative CTR improvement of every arm over every other."""
-        ctr = self.overall_ctr()
-        table: dict[tuple[str, str], float] = {}
-        for a in ctr:
-            for b in ctr:
-                if a != b and ctr[b] > 0:
-                    table[(a, b)] = (ctr[a] - ctr[b]) / ctr[b]
-        return table
-
-    def days_won(self, arm: str) -> int:
-        """On how many days ``arm`` had the strictly highest CTR."""
-        daily = self.daily_ctr()
-        wins = 0
-        for day in range(self.days):
-            best = max(series[day] for series in daily.values())
-            if daily[arm][day] == best and sum(
-                1 for series in daily.values() if series[day] == best
-            ) == 1:
-                wins += 1
-        return wins
-
-
-class ABTestHarness:
-    """Runs the ten-day live-evaluation simulation."""
+    Runs the ten-day live-evaluation simulation with the legacy stable
+    hash split.  Kept so external callers don't break; new features
+    (interleaving, sequential stopping) live on ``Experiment``.
+    """
 
     def __init__(
         self,
         world: SyntheticWorld,
-        arms: Mapping[str, object],
+        arms: Mapping[str, Any],
         days: int = 10,
         requests_per_user_per_day: int = 1,
         top_n: int = 10,
         seed: int = 99,
     ) -> None:
-        if not arms:
-            raise ValueError("an A/B test needs at least one arm")
-        self.world = world
-        self.arms = dict(arms)
-        self.days = days
-        self.requests_per_user_per_day = requests_per_user_per_day
-        self.top_n = top_n
-        self._rng = np.random.default_rng(seed)
-        self._arm_names = sorted(self.arms)
-
-    def arm_of(self, user_id: str) -> str:
-        """Stable traffic split: the arm this user's requests go to."""
-        return self._arm_names[stable_bucket(user_id, len(self._arm_names))]
-
-    def _feedback_actions(
-        self, user_id: str, clicked: list[str], now: float
-    ) -> list[UserAction]:
-        """Engagement generated by clicking recommended videos."""
-        actions: list[UserAction] = []
-        t = now
-        for video_id in clicked:
-            actions.append(
-                UserAction(t, user_id, video_id, ActionType.CLICK)
-            )
-            t += 2.0
-            actions.append(UserAction(t, user_id, video_id, ActionType.PLAY))
-            t += 5.0
-        return actions
-
-    def run(self) -> ABTestResult:
-        """Simulate the full test; return per-arm daily CTR series."""
-        organic = self.world.generate_actions(days=self.days)
-        by_day: dict[int, list[UserAction]] = {}
-        for action in organic:
-            by_day.setdefault(day_of(action), []).append(action)
-
-        stats = {name: ArmStats() for name in self._arm_names}
-        users = self.world.user_ids()
-
-        for day in range(self.days):
-            # 1. Everyone ingests the day's shared organic traffic.
-            for action in by_day.get(day, ()):
-                for arm in self.arms.values():
-                    arm.observe(action)
-
-            # 2. Serve each user's requests from their assigned arm.
-            day_impressions = {name: 0 for name in self._arm_names}
-            day_clicks = {name: 0 for name in self._arm_names}
-            for user_id in users:
-                arm_name = self.arm_of(user_id)
-                arm = self.arms[arm_name]
-                for _ in range(self.requests_per_user_per_day):
-                    now = (day + 1) * SECONDS_PER_DAY - self._rng.uniform(
-                        0, SECONDS_PER_DAY / 2
-                    )
-                    shown = arm.recommend_ids(user_id, n=self.top_n, now=now)
-                    if not shown:
-                        continue
-                    clicked = self.world.simulate_clicks(
-                        user_id, shown, self._rng
-                    )
-                    day_impressions[arm_name] += len(shown)
-                    day_clicks[arm_name] += len(clicked)
-                    for action in self._feedback_actions(
-                        user_id, clicked, now
-                    ):
-                        arm.observe(action)
-
-            for name in self._arm_names:
-                stats[name].impressions.append(day_impressions[name])
-                stats[name].clicks.append(day_clicks[name])
-
-            # 3. Batch arms retrain at end of day.
-            end_of_day = (day + 1) * SECONDS_PER_DAY
-            for arm in self.arms.values():
-                retrain = getattr(arm, "retrain", None)
-                if callable(retrain):
-                    retrain(end_of_day)
-
-        return ABTestResult(arms=stats, days=self.days)
+        warnings.warn(
+            "ABTestHarness is deprecated; use "
+            "repro.eval.experiment.Experiment (assignment='hash' matches "
+            "the legacy behaviour exactly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
+            world,
+            arms,
+            days=days,
+            requests_per_user_per_day=requests_per_user_per_day,
+            top_n=top_n,
+            seed=seed,
+            assignment="hash",
+        )

@@ -1,0 +1,941 @@
+"""Scriptable adversarial production scenarios (ROADMAP item 1).
+
+The paper validates its real-time methods with a ten-day live A/B test
+(§6.2); the original reproduction replayed one benign organic trace.  But
+the *payoff* of real-time similarity updates, online MF and admission
+control shows up under recency pressure — a video going viral mid-stream,
+catalog churn with cold-start items, diurnal traffic waves, preferences
+drifting under the model.  This module makes those regimes first-class:
+
+* **typed events** (:class:`FlashCrowd`, :class:`CatalogChurn`,
+  :class:`DiurnalWave`, :class:`PreferenceDrift`) compose into a
+  :class:`Scenario` timeline;
+* :class:`~repro.data.synthetic.SyntheticWorld` consults the scenario for
+  its per-day dynamics (popularity, catalog membership, arrival rates,
+  preference factors).  A world with no scenario is **byte-identical** to
+  the pre-scenario generator — pinned by a golden digest test;
+* :func:`run_scenario` drives a full experiment through the scenario —
+  quality via :class:`~repro.eval.experiment.Experiment` (CTR per arm) and
+  ops via :class:`~repro.serving.RequestRouter` under open-loop offered
+  load on a shared :class:`~repro.clock.VirtualClock` (shed rate, accepted
+  p99, breaker trips, post-event recovery time) — and returns one
+  schema-versioned :class:`ScenarioReport`.
+
+The module deliberately imports only :mod:`repro.clock` and typed schema
+pieces at import time; the heavy serving/eval wiring is imported inside
+:func:`run_scenario` so the data layer can reference scenarios without an
+import cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..clock import SECONDS_PER_DAY
+from ..errors import ConfigError
+
+__all__ = [
+    "ScenarioEvent",
+    "FlashCrowd",
+    "CatalogChurn",
+    "DiurnalWave",
+    "PreferenceDrift",
+    "ExtraVideoSpec",
+    "Scenario",
+    "baseline",
+    "flash_crowd",
+    "catalog_churn",
+    "cold_start",
+    "diurnal_wave",
+    "preference_drift",
+    "SCENARIO_LIBRARY",
+    "ScenarioOpsConfig",
+    "ScenarioReport",
+    "SCENARIO_REPORT_SCHEMA_VERSION",
+    "validate_scenario_report",
+    "run_scenario",
+    "default_arms",
+]
+
+
+# ---------------------------------------------------------------------------
+# Typed events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ExtraVideoSpec:
+    """A video the scenario injects into the catalogue mid-stream.
+
+    ``type_index`` is reduced modulo the world's ``n_types``;
+    ``available_from_day`` is the first day the video can be impressed.
+    """
+
+    video_id: str
+    type_index: int
+    available_from_day: int
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioEvent:
+    """Base class for timeline events (see concrete subclasses)."""
+
+    def extra_video_specs(self, days: int) -> list[ExtraVideoSpec]:
+        return []
+
+    def popularity_multipliers(self, day: int) -> dict[str, float]:
+        return {}
+
+    def rate_multiplier(self, day: int) -> float:
+        return 1.0
+
+    def retire_count_through(self, day: int) -> int:
+        return 0
+
+    def arrival_wave(self, day: int) -> tuple[float, float, float] | None:
+        """``(amplitude, period_seconds, phase)`` shaping within-day starts."""
+        return None
+
+    def drift_rotation_params(self, day: int) -> tuple[float, int] | None:
+        """``(angle_radians, seed)`` when user factors are rotated on ``day``."""
+        return None
+
+    def offered_multiplier(self, t: float) -> float:
+        """Serving-plane offered-QPS multiplier at absolute time ``t``."""
+        return 1.0
+
+    def event_window(self, days: int) -> tuple[float, float] | None:
+        """The primary disturbance window in seconds, if any."""
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class FlashCrowd(ScenarioEvent):
+    """A video goes viral mid-stream (default: a brand-new one).
+
+    From ``day`` for ``duration_days`` the viral video's popularity is
+    multiplied by ``boost`` and overall arrivals by ``rate_spike`` — the
+    regime that exercises simtable eviction (a flood of fresh pairs must
+    displace heap-weakest entries), ANN drift-gated upserts (the new
+    item's factors move fast) and the admission controller (the traffic
+    spike must shed, then recover).
+    """
+
+    day: int = 3
+    duration_days: int = 2
+    boost: float = 60.0
+    video_id: str | None = None  # None: inject a new video "viral_0"
+    type_index: int = 0
+    rate_spike: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.day < 0 or self.duration_days < 1:
+            raise ConfigError("flash crowd needs day >= 0, duration >= 1")
+        if self.boost <= 1.0:
+            raise ConfigError("flash crowd boost must exceed 1.0")
+
+    @property
+    def viral_video_id(self) -> str:
+        return self.video_id if self.video_id is not None else "viral_0"
+
+    def extra_video_specs(self, days: int) -> list[ExtraVideoSpec]:
+        if self.video_id is not None:
+            return []
+        return [ExtraVideoSpec("viral_0", self.type_index, self.day)]
+
+    def popularity_multipliers(self, day: int) -> dict[str, float]:
+        if self.day <= day < self.day + self.duration_days:
+            return {self.viral_video_id: self.boost}
+        return {}
+
+    def rate_multiplier(self, day: int) -> float:
+        if self.day <= day < self.day + self.duration_days:
+            return self.rate_spike
+        return 1.0
+
+    def offered_multiplier(self, t: float) -> float:
+        start = self.day * SECONDS_PER_DAY
+        end = (self.day + self.duration_days) * SECONDS_PER_DAY
+        return self.rate_spike if start <= t < end else 1.0
+
+    def event_window(self, days: int) -> tuple[float, float] | None:
+        return (
+            self.day * SECONDS_PER_DAY,
+            (self.day + self.duration_days) * SECONDS_PER_DAY,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CatalogChurn(ScenarioEvent):
+    """Items enter and leave the catalogue daily (cold-start pressure).
+
+    From ``start_day`` on, ``adds_per_day`` brand-new videos become
+    available each day (spread across types) and the ``retires_per_day``
+    weakest remaining base videos are withdrawn — the LFG / News-UK
+    recency regime where batch-trained arms serve a stale catalogue.
+    """
+
+    start_day: int = 1
+    adds_per_day: int = 4
+    retires_per_day: int = 4
+
+    def __post_init__(self) -> None:
+        if self.start_day < 0:
+            raise ConfigError("catalog churn start_day must be >= 0")
+        if self.adds_per_day < 0 or self.retires_per_day < 0:
+            raise ConfigError("catalog churn rates must be >= 0")
+
+    def extra_video_specs(self, days: int) -> list[ExtraVideoSpec]:
+        specs = []
+        for day in range(self.start_day, days):
+            for i in range(self.adds_per_day):
+                ordinal = (day - self.start_day) * self.adds_per_day + i
+                specs.append(
+                    ExtraVideoSpec(f"new_d{day}_{i}", ordinal, day)
+                )
+        return specs
+
+    def retire_count_through(self, day: int) -> int:
+        if day < self.start_day:
+            return 0
+        return self.retires_per_day * (day - self.start_day + 1)
+
+    def event_window(self, days: int) -> tuple[float, float] | None:
+        return (self.start_day * SECONDS_PER_DAY, days * SECONDS_PER_DAY)
+
+
+@dataclass(frozen=True, slots=True)
+class DiurnalWave(ScenarioEvent):
+    """Arrival-rate modulation: a sinusoidal within-day traffic wave.
+
+    Session start times follow a density ``1 + amplitude * sin(...)``
+    instead of uniform, and the serving plane offers QPS modulated by the
+    same wave — peak hours push the admission controller past capacity,
+    troughs let it recover.
+    """
+
+    amplitude: float = 0.7
+    period_seconds: float = SECONDS_PER_DAY
+    phase: float = -math.pi / 2.0  # trough at midnight, peak mid-day
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.amplitude <= 1.0:
+            raise ConfigError("diurnal amplitude must be in (0, 1]")
+        if self.period_seconds <= 0:
+            raise ConfigError("diurnal period must be positive")
+
+    def arrival_wave(self, day: int) -> tuple[float, float, float] | None:
+        return (self.amplitude, self.period_seconds, self.phase)
+
+    def offered_multiplier(self, t: float) -> float:
+        return 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * t / self.period_seconds + self.phase
+        )
+
+    def event_window(self, days: int) -> tuple[float, float] | None:
+        # The peak half-wave of the middle day: the window where offered
+        # load exceeds its mean and the admission controller is stressed.
+        mid = days // 2
+        quarter = self.period_seconds / 4.0
+        peak = mid * SECONDS_PER_DAY + self.period_seconds / 2.0
+        return (peak - quarter, peak + quarter)
+
+
+@dataclass(frozen=True, slots=True)
+class PreferenceDrift(ScenarioEvent):
+    """User preference vectors rotate mid-stream.
+
+    From ``day`` on, every user's ground-truth factor vector is rotated by
+    ``angle_degrees`` in a fixed random plane of the latent space: tastes
+    learned from the first days go stale at once, and only arms that keep
+    learning online can follow.
+    """
+
+    day: int = 3
+    angle_degrees: float = 75.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.day < 0:
+            raise ConfigError("preference drift day must be >= 0")
+        if not 0.0 < abs(self.angle_degrees) <= 180.0:
+            raise ConfigError("drift angle must be in (0, 180] degrees")
+
+    def drift_rotation_params(self, day: int) -> tuple[float, int] | None:
+        if day >= self.day:
+            return (math.radians(self.angle_degrees), self.seed)
+        return None
+
+    def event_window(self, days: int) -> tuple[float, float] | None:
+        start = self.day * SECONDS_PER_DAY
+        return (start, start + SECONDS_PER_DAY)
+
+
+# ---------------------------------------------------------------------------
+# The composable timeline
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, composable timeline of typed world events.
+
+    The synthetic world queries the scenario day by day; every query
+    composes over all events (multipliers multiply, catalog changes and
+    rotations accumulate).  A scenario with no events is the organic
+    baseline — :class:`~repro.data.synthetic.SyntheticWorld` treats it
+    exactly like ``scenario=None``.
+    """
+
+    name: str
+    events: tuple[ScenarioEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ConfigError(
+                f"scenario name must be a non-empty slug, got {self.name!r}"
+            )
+
+    # -- world-facing queries (see SyntheticWorld._day_state) --------------
+
+    def extra_video_specs(self, days: int) -> list[ExtraVideoSpec]:
+        specs: list[ExtraVideoSpec] = []
+        seen: set[str] = set()
+        for event in self.events:
+            for spec in event.extra_video_specs(days):
+                if spec.video_id in seen:
+                    raise ConfigError(
+                        f"duplicate scenario video id {spec.video_id!r}"
+                    )
+                seen.add(spec.video_id)
+                specs.append(spec)
+        return specs
+
+    def popularity_multipliers(self, day: int) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for event in self.events:
+            for video_id, mult in event.popularity_multipliers(day).items():
+                out[video_id] = out.get(video_id, 1.0) * mult
+        return out
+
+    def rate_multiplier(self, day: int) -> float:
+        mult = 1.0
+        for event in self.events:
+            mult *= event.rate_multiplier(day)
+        return mult
+
+    def retire_count_through(self, day: int) -> int:
+        return sum(event.retire_count_through(day) for event in self.events)
+
+    def arrival_wave(self, day: int) -> tuple[float, float, float] | None:
+        for event in self.events:
+            wave = event.arrival_wave(day)
+            if wave is not None:
+                return wave
+        return None
+
+    def drift_rotation(self, day: int, dim: int) -> np.ndarray | None:
+        """The accumulated rotation applied to user factors on ``day``."""
+        rotation: np.ndarray | None = None
+        for event in self.events:
+            params = event.drift_rotation_params(day)
+            if params is None:
+                continue
+            angle, seed = params
+            step = _plane_rotation(dim, angle, seed)
+            rotation = step if rotation is None else rotation @ step
+        return rotation
+
+    # -- serving-plane queries ---------------------------------------------
+
+    def offered_multiplier(self, t: float) -> float:
+        mult = 1.0
+        for event in self.events:
+            mult *= event.offered_multiplier(t)
+        return mult
+
+    def event_window(self, days: int) -> tuple[float, float] | None:
+        """The earliest-starting disturbance window across all events."""
+        windows = [
+            w for e in self.events if (w := e.event_window(days)) is not None
+        ]
+        return min(windows) if windows else None
+
+    def describe(self) -> str:
+        if not self.events:
+            return f"{self.name}: organic baseline (no events)"
+        parts = ", ".join(type(e).__name__ for e in self.events)
+        return f"{self.name}: {parts}"
+
+
+def _plane_rotation(dim: int, angle: float, seed: int) -> np.ndarray:
+    """A rotation by ``angle`` in one random 2-D plane of ``R^dim``.
+
+    Deterministic in ``(dim, angle, seed)`` and independent of any other
+    RNG in the system — scenario dynamics must never perturb the organic
+    generator's draw sequence.
+    """
+    if dim < 2:
+        return np.eye(dim)
+    rng = np.random.default_rng(1_000_003 * seed + dim)
+    basis, _ = np.linalg.qr(rng.normal(size=(dim, 2)))
+    q1, q2 = basis[:, 0], basis[:, 1]
+    identity = np.eye(dim)
+    return (
+        identity
+        + (math.cos(angle) - 1.0) * (np.outer(q1, q1) + np.outer(q2, q2))
+        + math.sin(angle) * (np.outer(q1, q2) - np.outer(q2, q1))
+    )
+
+
+# ---------------------------------------------------------------------------
+# The scenario library
+# ---------------------------------------------------------------------------
+
+
+def baseline() -> Scenario:
+    """The organic no-event world (byte-identical to ``scenario=None``)."""
+    return Scenario("baseline")
+
+
+def flash_crowd(
+    day: int = 3,
+    duration_days: int = 2,
+    boost: float = 60.0,
+    rate_spike: float = 1.5,
+    video_id: str | None = None,
+    type_index: int = 0,
+) -> Scenario:
+    return Scenario(
+        "flash_crowd",
+        (
+            FlashCrowd(
+                day=day,
+                duration_days=duration_days,
+                boost=boost,
+                rate_spike=rate_spike,
+                video_id=video_id,
+                type_index=type_index,
+            ),
+        ),
+    )
+
+
+def catalog_churn(
+    start_day: int = 1, adds_per_day: int = 4, retires_per_day: int = 4
+) -> Scenario:
+    return Scenario(
+        "catalog_churn",
+        (
+            CatalogChurn(
+                start_day=start_day,
+                adds_per_day=adds_per_day,
+                retires_per_day=retires_per_day,
+            ),
+        ),
+    )
+
+
+def cold_start(start_day: int = 1, adds_per_day: int = 6) -> Scenario:
+    """Adds-only churn: a stream of cold items with nothing retired."""
+    return Scenario(
+        "cold_start",
+        (
+            CatalogChurn(
+                start_day=start_day,
+                adds_per_day=adds_per_day,
+                retires_per_day=0,
+            ),
+        ),
+    )
+
+
+def diurnal_wave(
+    amplitude: float = 0.7,
+    period_seconds: float = SECONDS_PER_DAY,
+    phase: float = -math.pi / 2.0,
+) -> Scenario:
+    return Scenario(
+        "diurnal_wave",
+        (
+            DiurnalWave(
+                amplitude=amplitude,
+                period_seconds=period_seconds,
+                phase=phase,
+            ),
+        ),
+    )
+
+
+def preference_drift(
+    day: int = 3, angle_degrees: float = 75.0, seed: int = 7
+) -> Scenario:
+    return Scenario(
+        "preference_drift",
+        (PreferenceDrift(day=day, angle_degrees=angle_degrees, seed=seed),),
+    )
+
+
+#: Factory per scenario type — the library the CI smoke job iterates.
+SCENARIO_LIBRARY: dict[str, Any] = {
+    "flash_crowd": flash_crowd,
+    "catalog_churn": catalog_churn,
+    "diurnal_wave": diurnal_wave,
+    "preference_drift": preference_drift,
+}
+
+
+# ---------------------------------------------------------------------------
+# ScenarioReport — one schema for quality + ops
+# ---------------------------------------------------------------------------
+
+#: Version stamped into every ScenarioReport document.
+SCENARIO_REPORT_SCHEMA_VERSION = 1
+
+_REPORT_TOP_KEYS = {
+    "schema_version",
+    "scenario",
+    "events",
+    "days",
+    "arms",
+    "ctr_ordering_ok",
+    "stopped_day",
+    "ops",
+}
+_REPORT_OPS_KEYS = {
+    "offered",
+    "served",
+    "shed",
+    "shed_rate",
+    "accepted_p99_ms",
+    "breaker_trips",
+    "recovery_seconds",
+    "peak_window_shed_rate",
+}
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """Quality and ops metrics of one scenario run, in one schema.
+
+    ``arms`` maps arm name to ``{"overall_ctr", "impressions", "clicks",
+    "daily_ctr"}`` (``daily_ctr`` entries are ``None`` on zero-impression
+    days); ``ops`` carries the serving-plane numbers measured on the
+    shared virtual clock.  :meth:`to_doc` produces the JSON document the
+    benchmark harness validates and archives.
+    """
+
+    scenario: str
+    events: tuple[str, ...]
+    days: int
+    arms: Mapping[str, Mapping[str, Any]]
+    ctr_ordering_ok: bool
+    ops: Mapping[str, float]
+    stopped_day: int | None = None
+
+    def to_doc(self) -> dict[str, Any]:
+        doc = {
+            "schema_version": SCENARIO_REPORT_SCHEMA_VERSION,
+            "scenario": self.scenario,
+            "events": list(self.events),
+            "days": self.days,
+            "arms": {
+                name: {
+                    "overall_ctr": stats["overall_ctr"],
+                    "impressions": stats["impressions"],
+                    "clicks": stats["clicks"],
+                    "daily_ctr": list(stats["daily_ctr"]),
+                }
+                for name, stats in self.arms.items()
+            },
+            "ctr_ordering_ok": self.ctr_ordering_ok,
+            "stopped_day": self.stopped_day,
+            "ops": dict(self.ops),
+        }
+        errors = validate_scenario_report(doc)
+        if errors:
+            raise ValueError(
+                f"refusing to emit invalid scenario report "
+                f"{self.scenario!r}: " + "; ".join(errors)
+            )
+        return doc
+
+    def flat_metrics(self) -> dict[str, float]:
+        """Flatten into ``BENCH_*`` metric naming (finite numbers only)."""
+        out: dict[str, float] = {}
+        prefix = self.scenario
+        for name, stats in self.arms.items():
+            ctr = stats["overall_ctr"]
+            if ctr is not None and math.isfinite(ctr):
+                out[f"{prefix}_ctr_{name.lower()}"] = float(ctr)
+        out[f"{prefix}_ordering_ok"] = 1.0 if self.ctr_ordering_ok else 0.0
+        for key in ("shed_rate", "accepted_p99_ms", "recovery_seconds",
+                    "breaker_trips", "peak_window_shed_rate"):
+            out[f"{prefix}_{key}"] = float(self.ops[key])
+        return out
+
+
+def validate_scenario_report(doc: Any) -> list[str]:
+    """Schema check for one ScenarioReport document (stdlib only)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"report must be an object, got {type(doc).__name__}"]
+    if doc.get("schema_version") != SCENARIO_REPORT_SCHEMA_VERSION:
+        errors.append(
+            f"schema_version must be {SCENARIO_REPORT_SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}"
+        )
+    if not isinstance(doc.get("scenario"), str) or not doc.get("scenario"):
+        errors.append("scenario must be a non-empty string")
+    events = doc.get("events")
+    if not isinstance(events, list) or not all(
+        isinstance(e, str) for e in events
+    ):
+        errors.append("events must be a list of strings")
+    if not isinstance(doc.get("days"), int) or doc.get("days", 0) < 1:
+        errors.append("days must be a positive integer")
+    arms = doc.get("arms")
+    if not isinstance(arms, dict) or not arms:
+        errors.append("arms must be a non-empty object")
+    else:
+        for name, stats in arms.items():
+            if not isinstance(stats, dict):
+                errors.append(f"arms[{name!r}] must be an object")
+                continue
+            for key in ("overall_ctr", "impressions", "clicks", "daily_ctr"):
+                if key not in stats:
+                    errors.append(f"arms[{name!r}] missing {key!r}")
+            daily = stats.get("daily_ctr")
+            if not isinstance(daily, list):
+                errors.append(f"arms[{name!r}]['daily_ctr'] must be a list")
+    if not isinstance(doc.get("ctr_ordering_ok"), bool):
+        errors.append("ctr_ordering_ok must be a boolean")
+    stopped = doc.get("stopped_day")
+    if stopped is not None and not isinstance(stopped, int):
+        errors.append("stopped_day must be null or an integer")
+    ops = doc.get("ops")
+    if not isinstance(ops, dict):
+        errors.append("ops must be an object")
+    else:
+        missing = _REPORT_OPS_KEYS - set(ops)
+        if missing:
+            errors.append(f"ops missing keys: {sorted(missing)}")
+        for key, value in ops.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or not math.isfinite(value):
+                errors.append(f"ops[{key!r}] must be a finite number")
+    unknown = set(doc) - _REPORT_TOP_KEYS
+    if unknown:
+        errors.append(f"unknown top-level keys: {sorted(unknown)}")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# End-to-end scenario runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioOpsConfig:
+    """Serving-plane knobs of :func:`run_scenario`.
+
+    ``base_qps`` is the off-event offered rate; ``capacity_qps`` sizes the
+    admission controller's token bucket.  Defaults offer ~80% of capacity
+    off-event so an event spike (flash crowd, diurnal peak) pushes the
+    router past capacity and sheds become observable, and recovery after
+    the event is measurable.  ``window_seconds`` is the shed-rate
+    measurement granularity (also the resolution of recovery time).
+    """
+
+    base_qps: float = 40.0
+    capacity_qps: float = 50.0
+    burst: float = 20.0
+    window_seconds: float = SECONDS_PER_DAY / 8.0
+    requests_per_window: int = 256
+    service_time: float = 0.004
+    recovery_tolerance: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.base_qps <= 0 or self.capacity_qps <= 0:
+            raise ConfigError("qps knobs must be positive")
+        if self.window_seconds <= 0 or self.requests_per_window < 1:
+            raise ConfigError("window knobs must be positive")
+
+
+class _SimulatedBackend:
+    """Wraps an arm so every request consumes virtual service time.
+
+    The admission controller's token bucket refills on the same virtual
+    clock the arrivals advance; charging a deterministic per-request cost
+    makes accepted-latency percentiles meaningful in virtual time.
+    """
+
+    def __init__(self, inner, clock, service_time: float) -> None:
+        self._inner = inner
+        self._clock = clock
+        self._service_time = service_time
+
+    def recommend_ids(self, user_id, current_video=None, n=10, now=None):
+        self._clock.advance(self._service_time)
+        return self._inner.recommend_ids(
+            user_id, current_video=current_video, n=n, now=now
+        )
+
+
+def default_arms(world, *, production_rmf: bool = True) -> dict[str, Any]:
+    """The four arms of the paper's live test (§6.2) on ``world``.
+
+    ``production_rmf`` selects the deployed configuration — the
+    CombineModel trained per demographic group with demographic filtering
+    — versus the plain :class:`~repro.core.RealtimeRecommender`.
+    """
+    from ..baselines import (
+        AssociationRuleRecommender,
+        HotRecommender,
+        SimHashCFRecommender,
+    )
+    from ..clock import VirtualClock
+    from ..core import COMBINE_MODEL, GroupedRecommender, RealtimeRecommender
+    from ..core.variants import grid_searched_rates
+    from ..config import ReproConfig
+
+    eta0, alpha = grid_searched_rates(COMBINE_MODEL)
+    rmf_config = ReproConfig().with_overrides(
+        online={"eta0": eta0, "alpha": alpha},
+        mf={"f": 16, "init_scale": 0.03},
+        weights={"click": 0.5},
+        recommend={"max_candidates": 20, "demographic_slots": 0.05},
+    )
+    if production_rmf:
+        rmf = GroupedRecommender(
+            world.videos,
+            world.users,
+            config=rmf_config,
+            variant=COMBINE_MODEL,
+            clock=VirtualClock(0.0),
+            enable_demographic=True,
+        )
+    else:
+        rmf = RealtimeRecommender(
+            world.videos,
+            users=world.users,
+            config=rmf_config,
+            variant=COMBINE_MODEL,
+            clock=VirtualClock(0.0),
+        )
+    return {
+        "Hot": HotRecommender(clock=VirtualClock(0.0), exclude_watched=False),
+        "AR": AssociationRuleRecommender(
+            min_support=2, min_confidence=0.02, exclude_watched=False
+        ),
+        "SimHash": SimHashCFRecommender(
+            min_similarity=0.55, exclude_watched=False
+        ),
+        "rMF": rmf,
+    }
+
+
+def _ctr_ordering_ok(overall: Mapping[str, float]) -> bool:
+    """The paper's live-test ordering: Hot < AR ≈ SimHash < rMF.
+
+    Checked as: rMF strictly beats Hot, rMF is at least as good as AR and
+    SimHash (within a 2% relative tolerance, mirroring the "≈"), and Hot
+    is the weakest arm.
+    """
+    hot = overall.get("Hot")
+    rmf = overall.get("rMF")
+    if hot is None or rmf is None:
+        return False
+    mids = [v for k, v in overall.items() if k not in ("Hot", "rMF")]
+    if not rmf > hot:
+        return False
+    if any(not rmf >= mid * 0.98 for mid in mids):
+        return False
+    return all(hot <= mid for mid in mids)
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    days: int = 8,
+    n_users: int = 120,
+    n_videos: int = 160,
+    seed: int = 2016,
+    experiment_seed: int = 17,
+    arms: Mapping[str, Any] | None = None,
+    world_overrides: Mapping[str, Any] | None = None,
+    ops: ScenarioOpsConfig | None = None,
+    assignment: str = "interleave",
+    stopping=None,
+    obs=None,
+) -> ScenarioReport:
+    """Run one scenario end-to-end and return its :class:`ScenarioReport`.
+
+    Quality plane: a fresh calibrated world with ``scenario`` drives an
+    :class:`~repro.eval.experiment.Experiment` over the standard four arms
+    (CTR per arm per day, optional sequential stopping).  Ops plane: the
+    trained rMF arm is put behind a :class:`~repro.serving.RequestRouter`
+    with admission control and a circuit breaker on a shared
+    :class:`~repro.clock.VirtualClock`, and offered open-loop load whose
+    QPS follows the scenario's profile, window by window — shed rate,
+    accepted p99, breaker trips and post-event recovery time come out of
+    that loop.
+    """
+    from ..clock import VirtualClock
+    from ..data.synthetic import SyntheticWorld, paper_world_config
+    from ..reliability.overload import AdmissionController, CircuitBreaker
+    from ..serving.arrivals import arrival_times, offer
+    from ..serving.router import RecRequest, RequestRouter
+    from .experiment import Experiment
+
+    ops_cfg = ops or ScenarioOpsConfig()
+    overrides = dict(world_overrides or {})
+    world = SyntheticWorld(
+        paper_world_config(
+            n_users=n_users, n_videos=n_videos, days=days, seed=seed,
+            **overrides,
+        ),
+        scenario=scenario,
+    )
+    if arms is None:
+        arms = default_arms(world)
+    experiment = Experiment(
+        world,
+        arms,
+        days=days,
+        seed=experiment_seed,
+        assignment=assignment,
+        stopping=stopping,
+    )
+    result = experiment.run()
+    overall = result.overall_ctr()
+
+    # ---- ops plane: offered load over the scenario's QPS profile --------
+    clock = VirtualClock(0.0)
+    admission = AdmissionController(
+        rate=ops_cfg.capacity_qps,
+        burst=ops_cfg.burst,
+        clock=clock,
+    )
+    breaker = CircuitBreaker(clock=clock)
+    primary = arms.get("rMF") or next(iter(arms.values()))
+    fallback = arms.get("Hot")
+    router = RequestRouter(
+        _SimulatedBackend(primary, clock, ops_cfg.service_time),
+        fallback=fallback,
+        admission=admission,
+        breaker=breaker,
+        clock=clock,
+        obs=obs,
+    )
+    user_ids = world.user_ids()
+    video_ids = world.video_ids()
+    rng = np.random.default_rng(seed * 31 + 7)
+
+    horizon = days * SECONDS_PER_DAY
+    n_windows = max(1, int(round(horizon / ops_cfg.window_seconds)))
+    window_stats: list[dict[str, float]] = []
+    latencies: list[float] = []
+    total_offered = total_shed = total_served = 0
+    for w in range(n_windows):
+        w_start = w * ops_cfg.window_seconds
+        w_mid = w_start + ops_cfg.window_seconds / 2.0
+        qps = ops_cfg.base_qps * scenario.offered_multiplier(w_mid)
+        if clock.now() < w_start:
+            clock.advance(w_start - clock.now())
+        times = arrival_times(
+            clock.now(), ops_cfg.requests_per_window, qps, process="uniform"
+        )
+        w_shed = w_served = 0
+        for now in offer(clock, times):
+            user = user_ids[rng.integers(0, len(user_ids))]
+            if rng.random() < 0.5:
+                video = video_ids[rng.integers(0, len(video_ids))]
+                request = RecRequest(user, current_video=video, timestamp=now)
+            else:
+                request = RecRequest(user, timestamp=now)
+            response = router.handle(request)
+            if response.shed:
+                w_shed += 1
+            else:
+                w_served += 1
+                latencies.append(response.latency_seconds)
+        offered = ops_cfg.requests_per_window
+        total_offered += offered
+        total_shed += w_shed
+        total_served += w_served
+        window_stats.append(
+            {
+                "start": w_start,
+                "qps": qps,
+                "shed_rate": w_shed / offered,
+            }
+        )
+
+    # Recovery time: after the event window closes, how long until the
+    # per-window shed rate returns to the pre-event baseline (+tolerance)?
+    window = scenario.event_window(days)
+    recovery_seconds = 0.0
+    peak_shed = 0.0
+    if window is not None:
+        event_start, event_end = window
+        pre = [
+            s["shed_rate"] for s in window_stats if s["start"] < event_start
+        ]
+        baseline_shed = float(np.mean(pre)) if pre else 0.0
+        during = [
+            s["shed_rate"]
+            for s in window_stats
+            if event_start <= s["start"] < event_end
+        ]
+        peak_shed = max(during, default=0.0)
+        threshold = baseline_shed + ops_cfg.recovery_tolerance
+        recovered_at = None
+        for s in window_stats:
+            if s["start"] < event_end:
+                continue
+            if s["shed_rate"] <= threshold:
+                recovered_at = s["start"] + ops_cfg.window_seconds
+                break
+        if recovered_at is not None:
+            recovery_seconds = max(0.0, recovered_at - event_end)
+        elif any(s["start"] >= event_end for s in window_stats):
+            # Never recovered within the horizon: report the full tail.
+            recovery_seconds = horizon - event_end
+
+    lat_ms = np.asarray(latencies) * 1000.0
+    ops_metrics = {
+        "offered": float(total_offered),
+        "served": float(total_served),
+        "shed": float(total_shed),
+        "shed_rate": total_shed / total_offered if total_offered else 0.0,
+        "accepted_p99_ms": float(np.percentile(lat_ms, 99)) if lat_ms.size else 0.0,
+        "breaker_trips": float(breaker.opened_count),
+        "recovery_seconds": float(recovery_seconds),
+        "peak_window_shed_rate": float(peak_shed),
+    }
+
+    arms_doc = {
+        name: {
+            "overall_ctr": stats.overall_ctr
+            if stats.total_impressions
+            else None,
+            "impressions": stats.total_impressions,
+            "clicks": stats.total_clicks,
+            "daily_ctr": stats.daily_ctr(),
+        }
+        for name, stats in result.arms.items()
+    }
+    return ScenarioReport(
+        scenario=scenario.name,
+        events=tuple(type(e).__name__ for e in scenario.events),
+        days=result.days,
+        arms=arms_doc,
+        ctr_ordering_ok=_ctr_ordering_ok(overall),
+        ops=ops_metrics,
+        stopped_day=result.stopped_day,
+    )

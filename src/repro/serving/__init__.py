@@ -8,6 +8,7 @@ router behind real sockets with request coalescing;
 experiments.
 """
 
+from .arrivals import ARRIVAL_PROCESSES, arrival_times, offer
 from .gateway import (
     GatewayConfig,
     GatewayThread,
@@ -26,6 +27,9 @@ from .router import (
 )
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
+    "arrival_times",
+    "offer",
     "RecRequest",
     "RecResponse",
     "RequestRouter",

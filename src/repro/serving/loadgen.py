@@ -29,6 +29,7 @@ import numpy as np
 
 from ..clock import VirtualClock
 from ..data.schema import UserAction
+from .arrivals import arrival_times, offer
 from .router import RecRequest, RequestRouter
 
 
@@ -220,36 +221,37 @@ class LoadGenerator:
         qps: float,
         clock: VirtualClock,
         deadline_seconds: float | None = None,
+        process: str = "uniform",
     ) -> LoadReport:
-        """Offer ``total_requests`` at a fixed ``qps`` on a virtual clock.
+        """Offer ``total_requests`` at a target ``qps`` on a virtual clock.
 
-        Open-loop saturation driver: arrivals are spaced exactly ``1/qps``
-        apart on ``clock`` — which must be the same
-        :class:`~repro.clock.VirtualClock` the router (and its admission
-        controller / simulated backend) runs on — so offered load does not
-        slow down when the router saturates, and the run is fully
-        deterministic.  ``deadline_seconds`` stamps every request with
-        that latency budget.
+        Open-loop saturation driver: arrivals follow an absolute schedule
+        from :func:`repro.serving.arrivals.arrival_times` on ``clock`` —
+        which must be the same :class:`~repro.clock.VirtualClock` the
+        router (and its admission controller / simulated backend) runs on
+        — so offered load does not slow down when the router saturates,
+        and the run is fully deterministic.  ``process`` selects the
+        arrival shape (``uniform``/``poisson``/``burst``);
+        ``deadline_seconds`` stamps every request with that latency
+        budget.
         """
         if total_requests < 1:
             raise ValueError("total_requests must be >= 1")
         if qps <= 0:
             raise ValueError(f"qps must be positive, got {qps}")
-        interval = 1.0 / qps
         rng = np.random.default_rng(self.seed * 1009)
         latencies: list[float] = []
         errors = shed = deadline_missed = 0
         started = clock.now()
-        next_arrival = started
-        for i in range(total_requests):
-            # Arrivals follow an absolute schedule (started + i/qps): time
-            # the backend consumes serving one request does not push later
-            # arrivals back — that is what makes the load *offered* rather
-            # than closed-loop.
-            if clock.now() < next_arrival:
-                clock.advance(next_arrival - clock.now())
-            next_arrival += interval
-            request = self._make_request(rng, clock.now(), deadline_seconds)
+        schedule = arrival_times(
+            started,
+            total_requests,
+            qps,
+            process=process,
+            rng=np.random.default_rng(self.seed * 1013 + 1),
+        )
+        for now in offer(clock, schedule):
+            request = self._make_request(rng, now, deadline_seconds)
             response = self.router.handle(request)
             if response.shed:
                 shed += 1

@@ -411,3 +411,17 @@ class RequestRouter:
     def total_shed(self) -> int:
         with self._lock:
             return sum(s.shed for s in self._stats.values())
+
+    @property
+    def breaker_trips(self) -> int:
+        """Times the primary's circuit breaker has opened (0 if none)."""
+        return self.breaker.opened_count if self.breaker is not None else 0
+
+    def reset_stats(self) -> None:
+        """Zero the per-scenario counters (keep backends and breakers).
+
+        Scenario runs measure shed rate window by window on one router;
+        resetting between measurement phases beats re-wiring the chain.
+        """
+        with self._lock:
+            self._stats = {scenario: ScenarioStats() for scenario in Scenario}

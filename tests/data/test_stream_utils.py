@@ -109,3 +109,25 @@ class TestEngagedVideos:
         ]
         engaged = engaged_videos_by_user(actions)
         assert engaged == {"u": {"v2", "v3"}, "u2": {"v1"}}
+
+
+class TestGroupByDay:
+    def test_buckets_by_day_preserving_order(self):
+        from repro.data.stream import group_by_day
+
+        actions = [
+            _action(10.0, video="a"),
+            _action(SECONDS_PER_DAY + 1.0, video="b"),
+            _action(20.0, video="c"),
+            _action(2.5 * SECONDS_PER_DAY, video="d"),
+        ]
+        by_day = group_by_day(actions)
+        assert sorted(by_day) == [0, 1, 2]
+        assert [a.video_id for a in by_day[0]] == ["a", "c"]
+        assert [a.video_id for a in by_day[1]] == ["b"]
+        assert [a.video_id for a in by_day[2]] == ["d"]
+
+    def test_empty_stream(self):
+        from repro.data.stream import group_by_day
+
+        assert group_by_day([]) == {}

@@ -137,6 +137,14 @@ class TestResult:
         assert result.days_won("b") == 0
 
     def test_zero_impressions_ctr(self):
-        stats = ArmStats(impressions=[0], clicks=[0])
-        assert stats.daily_ctr() == [0.0]
+        """Never-served days are None, never-served arms NaN — not a fake
+        0.0 that is indistinguishable from 'served but never clicked'."""
+        import math
+
+        stats = ArmStats(impressions=[0, 10], clicks=[0, 0])
+        assert stats.daily_ctr() == [None, 0.0]
         assert stats.overall_ctr == 0.0
+
+        never = ArmStats(impressions=[0], clicks=[0])
+        assert never.daily_ctr() == [None]
+        assert math.isnan(never.overall_ctr)

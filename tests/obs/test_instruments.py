@@ -147,3 +147,29 @@ def test_to_json_schema_versioned():
     doc = json.loads(reg.to_json())
     assert doc["schema_version"] == REGISTRY_SCHEMA_VERSION
     assert "ops_total" in doc["metrics"]
+
+
+def test_total_sums_matching_series():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total", "x", labelnames=("outcome", "arm"))
+    c.labels(outcome="ok", arm="a").inc(3)
+    c.labels(outcome="ok", arm="b").inc(4)
+    c.labels(outcome="shed", arm="a").inc(2)
+    assert reg.total("requests_total") == 9
+    assert reg.total("requests_total", outcome="ok") == 7
+    assert reg.total("requests_total", outcome="shed", arm="a") == 2
+    assert reg.total("requests_total", outcome="shed", arm="b") == 0
+
+
+def test_total_unknown_metric_is_zero():
+    assert MetricsRegistry().total("never_registered_total") == 0.0
+
+
+def test_total_rejects_histograms_and_unknown_labels():
+    reg = MetricsRegistry()
+    reg.histogram("lat_seconds", "x")
+    with pytest.raises(ValueError):
+        reg.total("lat_seconds")
+    reg.counter("ops_total", "x", labelnames=("op",))
+    with pytest.raises(ValueError):
+        reg.total("ops_total", nope="y")

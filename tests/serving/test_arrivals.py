@@ -1,0 +1,116 @@
+"""Tests for the shared open-loop arrival-process helper."""
+
+import numpy as np
+import pytest
+
+from repro.clock import VirtualClock
+from repro.errors import ConfigError
+from repro.serving import ARRIVAL_PROCESSES, arrival_times, offer
+
+
+class TestUniform:
+    def test_matches_legacy_float_accumulation(self):
+        """The uniform schedule must reproduce the historical run_offered
+        spacing bit for bit — same float additions, same rounding."""
+        qps = 37.0
+        start = 123.456
+        legacy = []
+        t = start
+        for _ in range(50):
+            legacy.append(t)
+            t += 1.0 / qps
+        assert arrival_times(start, 50, qps) == legacy
+
+    def test_first_arrival_is_start(self):
+        assert arrival_times(10.0, 5, 100.0)[0] == 10.0
+
+    def test_mean_rate(self):
+        times = arrival_times(0.0, 1001, 25.0)
+        assert (times[-1] - times[0]) == pytest.approx(1000 / 25.0)
+
+
+class TestPoisson:
+    def test_deterministic_given_seed(self):
+        a = arrival_times(0.0, 100, 50.0, process="poisson", rng=7)
+        b = arrival_times(0.0, 100, 50.0, process="poisson", rng=7)
+        c = arrival_times(0.0, 100, 50.0, process="poisson", rng=8)
+        assert a == b
+        assert a != c
+
+    def test_accepts_generator_instance(self):
+        rng = np.random.default_rng(7)
+        a = arrival_times(0.0, 100, 50.0, process="poisson", rng=rng)
+        b = arrival_times(0.0, 100, 50.0, process="poisson", rng=7)
+        assert a == b
+
+    def test_starts_at_start_and_is_monotone(self):
+        times = arrival_times(5.0, 200, 40.0, process="poisson", rng=1)
+        assert times[0] == 5.0
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_mean_rate_close_to_target(self):
+        times = arrival_times(0.0, 5000, 80.0, process="poisson", rng=3)
+        rate = (len(times) - 1) / (times[-1] - times[0])
+        assert rate == pytest.approx(80.0, rel=0.1)
+
+
+class TestBurst:
+    def test_burst_structure(self):
+        times = arrival_times(
+            0.0, 32, 16.0, process="burst", burst_size=16, burst_factor=8.0
+        )
+        inside = 1.0 / (16.0 * 8.0)
+        # Within a burst: tight spacing; between bursts: a long idle gap.
+        assert times[1] - times[0] == pytest.approx(inside)
+        gap = times[16] - times[15]
+        assert gap > 10 * inside
+
+    def test_long_run_mean_rate_preserved(self):
+        qps = 20.0
+        times = arrival_times(
+            0.0, 320, qps, process="burst", burst_size=16, burst_factor=8.0
+        )
+        # 320 arrivals = 20 full burst periods of burst_size/qps each.
+        assert times[-1] == pytest.approx(
+            (320 - 16) / qps + 15 / (qps * 8.0)
+        )
+
+    def test_burst_knob_validation(self):
+        with pytest.raises(ConfigError):
+            arrival_times(0.0, 4, 10.0, process="burst", burst_size=0)
+        with pytest.raises(ConfigError):
+            arrival_times(0.0, 4, 10.0, process="burst", burst_factor=1.0)
+
+
+class TestValidation:
+    def test_bad_count_qps_process(self):
+        with pytest.raises(ConfigError):
+            arrival_times(0.0, 0, 10.0)
+        with pytest.raises(ConfigError):
+            arrival_times(0.0, 5, 0.0)
+        with pytest.raises(ConfigError):
+            arrival_times(0.0, 5, 10.0, process="fractal")
+
+    def test_process_registry(self):
+        assert set(ARRIVAL_PROCESSES) == {"uniform", "poisson", "burst"}
+
+
+class TestOffer:
+    def test_advances_clock_to_each_arrival(self):
+        clock = VirtualClock(0.0)
+        times = [1.0, 2.5, 4.0]
+        seen = list(offer(clock, times))
+        assert seen == times
+        assert clock.now() == 4.0
+
+    def test_never_moves_clock_backwards(self):
+        """A slow backend that overruns the schedule fires late arrivals
+        immediately — open-loop semantics."""
+        clock = VirtualClock(0.0)
+        seen = []
+        for t in offer(clock, [1.0, 2.0, 3.0]):
+            seen.append(t)
+            clock.advance(5.0)  # the backend burns past the next arrivals
+        assert seen[0] == 1.0
+        assert seen[1] == 6.0  # fired at the overrun clock, not at 2.0
+        assert seen[2] == 11.0
